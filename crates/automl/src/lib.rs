@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+//! AutoML-context comparators (§7 of the paper).
+//!
+//! The paper asks whether dedicated Auto-FP beats the feature
+//! preprocessing modules of general-purpose AutoML tools (Table 8), and
+//! whether FP matters as much as hyperparameter tuning. This crate
+//! implements the comparators:
+//!
+//! * [`tpot::TpotFp`] — TPOT's FP module: genetic programming over its
+//!   five preprocessors with arbitrary pipeline length.
+//! * [`tpot::AutoSklearnFp`] — Auto-Sklearn's FP module: one of five
+//!   single-preprocessor pipelines.
+//! * [`hpo::HpoSearch`] — an HPO module searching each downstream
+//!   model's hyperparameter space with the preprocessing disabled.
+
+pub mod hpo;
+pub mod tpot;
+pub mod warmstart;
+
+pub use hpo::{HpoOutcome, HpoSearch};
+pub use tpot::{AutoSklearnFp, TpotFp, TPOT_PREPROCESSORS};
+pub use warmstart::MetaStore;

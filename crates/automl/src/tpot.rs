@@ -1,0 +1,238 @@
+//! TPOT's and Auto-Sklearn's feature-preprocessing modules (Table 8).
+//!
+//! TPOT searches preprocessing pipelines of arbitrary length over five
+//! preprocessors using genetic programming (tournament selection,
+//! one-point crossover, point/insert/delete mutation). Auto-Sklearn's
+//! FP module only ever applies a *single* preprocessor chosen from five.
+//! Both are implemented as [`Searcher`]s so the §7.1 comparison runs on
+//! the identical evaluator as Auto-FP.
+
+use autofp_core::{SearchContext, Searcher};
+use autofp_linalg::rng::rng_from_seed;
+use autofp_preprocess::{Pipeline, Preproc, PreprocKind};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The five preprocessors TPOT's FP module exposes (of the paper's
+/// seven, TPOT lacks `PowerTransformer` and `QuantileTransformer`).
+pub const TPOT_PREPROCESSORS: [PreprocKind; 5] = [
+    PreprocKind::Binarizer,
+    PreprocKind::MaxAbsScaler,
+    PreprocKind::MinMaxScaler,
+    PreprocKind::Normalizer,
+    PreprocKind::StandardScaler,
+];
+
+/// TPOT-FP: genetic programming over the five TPOT preprocessors.
+pub struct TpotFp {
+    rng: StdRng,
+    /// Population size per generation.
+    pub population_size: usize,
+    /// Tournament size for parent selection.
+    pub tournament_size: usize,
+    /// Per-individual mutation probability.
+    pub mutation_prob: f64,
+    /// Per-pair crossover probability.
+    pub crossover_prob: f64,
+    /// Maximum pipeline length ("arbitrary" in TPOT; capped for sanity).
+    pub max_len: usize,
+}
+
+impl TpotFp {
+    /// Construct with TPOT-like GP defaults.
+    pub fn new(seed: u64) -> TpotFp {
+        TpotFp {
+            rng: rng_from_seed(seed),
+            population_size: 12,
+            tournament_size: 3,
+            mutation_prob: 0.9,
+            crossover_prob: 0.5,
+            max_len: 8,
+        }
+    }
+
+    fn random_pipeline(&mut self) -> Pipeline {
+        let len = self.rng.gen_range(1..=3);
+        let kinds: Vec<PreprocKind> = (0..len)
+            .map(|_| TPOT_PREPROCESSORS[self.rng.gen_range(0..TPOT_PREPROCESSORS.len())])
+            .collect();
+        Pipeline::from_kinds(&kinds)
+    }
+
+    fn mutate(&mut self, p: &Pipeline) -> Pipeline {
+        let mut steps = p.steps().to_vec();
+        match self.rng.gen_range(0..3) {
+            0 => {
+                // Point mutation.
+                let pos = self.rng.gen_range(0..steps.len());
+                steps[pos] = Preproc::default_for(
+                    TPOT_PREPROCESSORS[self.rng.gen_range(0..TPOT_PREPROCESSORS.len())],
+                );
+            }
+            1 if steps.len() < self.max_len => {
+                let pos = self.rng.gen_range(0..=steps.len());
+                steps.insert(
+                    pos,
+                    Preproc::default_for(
+                        TPOT_PREPROCESSORS[self.rng.gen_range(0..TPOT_PREPROCESSORS.len())],
+                    ),
+                );
+            }
+            _ if steps.len() > 1 => {
+                let pos = self.rng.gen_range(0..steps.len());
+                steps.remove(pos);
+            }
+            _ => {}
+        }
+        Pipeline::new(steps)
+    }
+
+    /// One-point crossover of two pipelines.
+    fn crossover(&mut self, a: &Pipeline, b: &Pipeline) -> Pipeline {
+        let cut_a = self.rng.gen_range(0..=a.len());
+        let cut_b = self.rng.gen_range(0..=b.len());
+        let mut steps: Vec<Preproc> = a.steps()[..cut_a].to_vec();
+        steps.extend_from_slice(&b.steps()[cut_b..]);
+        steps.truncate(self.max_len);
+        if steps.is_empty() {
+            steps.push(Preproc::default_for(PreprocKind::StandardScaler));
+        }
+        Pipeline::new(steps)
+    }
+}
+
+impl Searcher for TpotFp {
+    fn name(&self) -> &'static str {
+        "TPOT-FP"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        // Initial population.
+        let mut population: Vec<(Pipeline, f64)> = Vec::with_capacity(self.population_size);
+        for _ in 0..self.population_size {
+            let p = self.random_pipeline();
+            let Some(t) = ctx.evaluate(&p) else { return };
+            population.push((p, t.accuracy));
+        }
+
+        loop {
+            if ctx.exhausted() {
+                return;
+            }
+            // Breed the next generation (elitism: keep the best).
+            population.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN"));
+            let mut next: Vec<(Pipeline, f64)> = vec![population[0].clone()];
+            while next.len() < self.population_size {
+                // Tournament selection of two parents.
+                let pick = |rng: &mut StdRng, pop: &[(Pipeline, f64)], k: usize| {
+                    let mut best: Option<(f64, Pipeline)> = None;
+                    for _ in 0..k {
+                        let i = rng.gen_range(0..pop.len());
+                        if best.as_ref().is_none_or(|(acc, _)| pop[i].1 > *acc) {
+                            best = Some((pop[i].1, pop[i].0.clone()));
+                        }
+                    }
+                    best.expect("non-empty population").1
+                };
+                let pa = pick(&mut self.rng, &population, self.tournament_size);
+                let pb = pick(&mut self.rng, &population, self.tournament_size);
+                let mut child = if self.rng.gen::<f64>() < self.crossover_prob {
+                    self.crossover(&pa, &pb)
+                } else {
+                    pa
+                };
+                if self.rng.gen::<f64>() < self.mutation_prob {
+                    child = self.mutate(&child);
+                }
+                let Some(t) = ctx.evaluate(&child) else { return };
+                next.push((child, t.accuracy));
+            }
+            population = next;
+        }
+    }
+}
+
+/// Auto-Sklearn's FP module: a single preprocessor from five candidates
+/// (pipeline length exactly 1, per Table 8), chosen by trying each —
+/// with only six possibilities (five preprocessors plus "none"), its
+/// SMAC search degenerates to enumeration.
+pub struct AutoSklearnFp;
+
+impl Searcher for AutoSklearnFp {
+    fn name(&self) -> &'static str {
+        "AutoSklearn-FP"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        if ctx.evaluate(&Pipeline::empty()).is_none() {
+            return;
+        }
+        for kind in TPOT_PREPROCESSORS {
+            if ctx.evaluate(&Pipeline::from_kinds(&[kind])).is_none() {
+                return;
+            }
+        }
+        // Space exhausted; nothing more a single-preprocessor module can try.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("tpot-test", 150, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    #[test]
+    fn tpot_only_uses_its_five_preprocessors() {
+        let ev = evaluator();
+        let mut tpot = TpotFp::new(7);
+        let out = run_search(&mut tpot, &ev, Budget::evals(30));
+        assert_eq!(out.history.len(), 30);
+        for t in out.history.trials() {
+            for s in t.pipeline.steps() {
+                assert!(
+                    TPOT_PREPROCESSORS.contains(&s.kind()),
+                    "TPOT used {}",
+                    s.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tpot_is_deterministic() {
+        let ev = evaluator();
+        let run = || {
+            let mut t = TpotFp::new(9);
+            run_search(&mut t, &ev, Budget::evals(20)).best_accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn autosklearn_fp_tries_six_options_then_stops() {
+        let ev = evaluator();
+        let mut ask = AutoSklearnFp;
+        let out = run_search(&mut ask, &ev, Budget::evals(100));
+        assert_eq!(out.history.len(), 6);
+        for t in out.history.trials() {
+            assert!(t.pipeline.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn crossover_respects_length_cap() {
+        let mut tpot = TpotFp::new(1);
+        let a = Pipeline::from_kinds(&[PreprocKind::Binarizer; 8]);
+        let b = Pipeline::from_kinds(&[PreprocKind::Normalizer; 8]);
+        for _ in 0..50 {
+            let c = tpot.crossover(&a, &b);
+            assert!(!c.is_empty() && c.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! End-to-end pipeline-evaluation cost (Prep + Train) across dataset
+//! sizes and models — the data behind the Figure 7 / Table 5 bottleneck
+//! analysis.
+
+use autofp_core::{EvalConfig, Evaluator};
+use autofp_data::SynthConfig;
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::{Pipeline, PreprocKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn heavy_pipeline() -> Pipeline {
+    Pipeline::from_kinds(&[
+        PreprocKind::PowerTransformer,
+        PreprocKind::QuantileTransformer,
+        PreprocKind::StandardScaler,
+    ])
+}
+
+fn bench_eval_by_rows(c: &mut Criterion) {
+    let pipeline = heavy_pipeline();
+    let mut group = c.benchmark_group("evaluate_rows_scaling_lr");
+    group.sample_size(10);
+    for rows in [200usize, 800, 3200] {
+        let d = SynthConfig::new("bench-eval", rows, 12, 2, 5).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &ev, |b, ev| {
+            b.iter(|| black_box(ev.evaluate(&pipeline)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_by_cols(c: &mut Criterion) {
+    let pipeline = heavy_pipeline();
+    let mut group = c.benchmark_group("evaluate_cols_scaling_lr");
+    group.sample_size(10);
+    for cols in [5usize, 20, 80] {
+        let d = SynthConfig::new("bench-eval-c", 500, cols, 2, 7).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(cols), &ev, |b, ev| {
+            b.iter(|| black_box(ev.evaluate(&pipeline)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval_by_model(c: &mut Criterion) {
+    let pipeline = heavy_pipeline();
+    let d = SynthConfig::new("bench-eval-m", 600, 15, 3, 9).generate();
+    let mut group = c.benchmark_group("evaluate_by_model_600x15");
+    group.sample_size(10);
+    for model in ModelKind::ALL {
+        let ev = Evaluator::new(&d, EvalConfig { model, train_fraction: 0.8, seed: 0, train_subsample: None });
+        group.bench_function(model.name(), |b| b.iter(|| black_box(ev.evaluate(&pipeline))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval_by_rows, bench_eval_by_cols, bench_eval_by_model);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the seven preprocessors, plus the DESIGN.md
+//! ablations: Yeo-Johnson λ-search cost and QuantileTransformer
+//! resolution. These costs are the "Prep" phase of Figure 7.
+
+use autofp_data::SynthConfig;
+use autofp_preprocess::power::optimal_lambda;
+use autofp_preprocess::{OutputDist, Preproc, PreprocKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_each_preprocessor(c: &mut Criterion) {
+    let dataset = SynthConfig::new("bench-prep", 1000, 20, 2, 5).generate();
+    let mut group = c.benchmark_group("preprocessor_fit_transform_1000x20");
+    group.sample_size(20);
+    for kind in PreprocKind::ALL {
+        let p = Preproc::default_for(kind);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut x = dataset.x.clone();
+                let fitted = p.fit_transform(&mut x);
+                black_box((fitted, x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_yeo_johnson_lambda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("yeo_johnson_lambda_search");
+    group.sample_size(20);
+    for n in [100usize, 1000, 10_000] {
+        let col: Vec<f64> = (0..n).map(|i| ((i * 37 % 101) as f64 / 10.0).exp()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &col, |b, col| {
+            b.iter(|| black_box(optimal_lambda(col)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_resolution(c: &mut Criterion) {
+    let dataset = SynthConfig::new("bench-q", 2000, 10, 2, 7).generate();
+    let mut group = c.benchmark_group("quantile_transformer_resolution");
+    group.sample_size(20);
+    for q in [10usize, 100, 1000] {
+        let p = Preproc::QuantileTransformer { n_quantiles: q, output: OutputDist::Uniform };
+        group.bench_with_input(BenchmarkId::from_parameter(q), &p, |b, p| {
+            b.iter(|| {
+                let mut x = dataset.x.clone();
+                black_box(p.fit_transform(&mut x));
+                black_box(&x);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_depth(c: &mut Criterion) {
+    // Cost growth with pipeline length (scalers only, so the growth is
+    // the composition overhead itself).
+    let dataset = SynthConfig::new("bench-depth", 1000, 20, 2, 9).generate();
+    let mut group = c.benchmark_group("pipeline_length");
+    group.sample_size(20);
+    for len in [1usize, 3, 7] {
+        let kinds = vec![PreprocKind::StandardScaler; len];
+        let p = autofp_preprocess::Pipeline::from_kinds(&kinds);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &p, |b, p| {
+            b.iter(|| black_box(p.fit_transform(&dataset.x)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_each_preprocessor,
+    bench_yeo_johnson_lambda,
+    bench_quantile_resolution,
+    bench_pipeline_depth
+);
+criterion_main!(benches);

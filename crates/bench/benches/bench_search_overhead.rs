@@ -1,0 +1,64 @@
+//! Whole-search cost per algorithm under a fixed evaluation budget on a
+//! tiny dataset: with training nearly free, the differences here are
+//! the algorithms' own "Pick" overheads (Steps 2-3 of Algorithm 1).
+
+use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp_data::SynthConfig;
+use autofp_preprocess::ParamSpace;
+use autofp_search::{make_searcher, AlgName};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_search_overhead(c: &mut Criterion) {
+    // Tiny dataset: evaluation is microseconds, so the measured time is
+    // dominated by algorithm-side work.
+    let d = SynthConfig::new("bench-overhead", 60, 4, 2, 3).generate();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+
+    let mut group = c.benchmark_group("search_20_evals_tiny_data");
+    group.sample_size(10);
+    for alg in [
+        AlgName::Rs,
+        AlgName::Anneal,
+        AlgName::Pbt,
+        AlgName::TevoH,
+        AlgName::Smac,
+        AlgName::Tpe,
+        AlgName::Pmne,
+        AlgName::Plne,
+        AlgName::Reinforce,
+        AlgName::Enas,
+        AlgName::Hyperband,
+        AlgName::Bohb,
+    ] {
+        group.bench_function(alg.as_str(), |b| {
+            b.iter(|| {
+                let mut s = make_searcher(alg, ParamSpace::default_space(), 4, 7);
+                black_box(run_search(s.as_mut(), &ev, Budget::evals(20)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pick_time_share(c: &mut Criterion) {
+    // Report-style bench: one iteration each, asserting the breakdown is
+    // well-formed (criterion measures; the assertion guards regressions).
+    let d = SynthConfig::new("bench-pick", 80, 5, 2, 5).generate();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let mut group = c.benchmark_group("pick_share_probe");
+    group.sample_size(10);
+    group.bench_function("smac_vs_rs", |b| {
+        b.iter(|| {
+            let mut smac = make_searcher(AlgName::Smac, ParamSpace::default_space(), 4, 3);
+            let out = run_search(smac.as_mut(), &ev, Budget::evals(12));
+            let (pick, prep, train) = out.breakdown.percentages();
+            assert!((pick + prep + train - 100.0).abs() < 1.0 || pick + prep + train == 0.0);
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search_overhead, bench_pick_time_share);
+criterion_main!(benches);

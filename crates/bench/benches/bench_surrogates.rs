@@ -1,0 +1,96 @@
+//! Surrogate-model fitting cost — the driver of the "Pick" overhead
+//! differences between SMAC/TPE/PNAS in Figure 7 and the reason the
+//! paper finds the cheap MLP surrogate (PMNE/PME) is the only one that
+//! beats random search.
+
+use autofp_linalg::rng::rng_from_seed;
+use autofp_linalg::Matrix;
+use autofp_preprocess::encoding::encode_pipeline;
+use autofp_preprocess::ParamSpace;
+use autofp_surrogate::lstm::{LstmRegParams, LstmRegressor};
+use autofp_surrogate::mlp_reg::{MlpRegParams, MlpRegressor};
+use autofp_surrogate::rf::{RandomForestRegressor, RfParams};
+use autofp_surrogate::tpe::CategoricalTpe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use std::hint::black_box;
+
+/// Synthetic search history: n (pipeline, accuracy) observations.
+fn history(n: usize) -> (Vec<Vec<f64>>, Vec<Vec<usize>>, Vec<(Vec<usize>, f64)>, Vec<f64>) {
+    let space = ParamSpace::default_space();
+    let mut rng = rng_from_seed(42);
+    let mut encodings = Vec::with_capacity(n);
+    let mut token_seqs = Vec::with_capacity(n);
+    let mut tpe_obs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = space.sample_pipeline(&mut rng, 7);
+        let tokens: Vec<usize> = p.kinds().iter().map(|k| k.index()).collect();
+        let y: f64 = rng.gen_range(0.4..0.95);
+        encodings.push(encode_pipeline(&p, 7));
+        token_seqs.push(tokens.iter().map(|&t| t + 1).collect());
+        tpe_obs.push((tokens, 1.0 - y));
+        ys.push(y);
+    }
+    (encodings, token_seqs, tpe_obs, ys)
+}
+
+fn bench_surrogate_fit_cost(c: &mut Criterion) {
+    let n = 50;
+    let (encodings, token_seqs, tpe_obs, ys) = history(n);
+    let x = Matrix::from_rows(&encodings);
+
+    let mut group = c.benchmark_group("surrogate_fit_50_observations");
+    group.sample_size(10);
+    group.bench_function("random_forest (SMAC)", |b| {
+        b.iter(|| black_box(RandomForestRegressor::fit(&x, &ys, &RfParams::default())))
+    });
+    group.bench_function("categorical_kde (TPE)", |b| {
+        let tpe = CategoricalTpe::new(7, 7);
+        b.iter(|| black_box(tpe.fit(&tpe_obs)))
+    });
+    group.bench_function("mlp (PMNE)", |b| {
+        b.iter(|| black_box(MlpRegressor::fit(&x, &ys, &MlpRegParams::default())))
+    });
+    group.bench_function("lstm (PLNE)", |b| {
+        b.iter(|| black_box(LstmRegressor::fit(&token_seqs, &ys, 8, &LstmRegParams::default())))
+    });
+    group.finish();
+}
+
+fn bench_surrogate_fit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_surrogate_history_scaling");
+    group.sample_size(10);
+    for n in [20usize, 80, 320] {
+        let (encodings, _, _, ys) = history(n);
+        let x = Matrix::from_rows(&encodings);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &x, |b, x| {
+            b.iter(|| black_box(MlpRegressor::fit(x, &ys, &MlpRegParams::default())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_surrogate_predict_cost(c: &mut Criterion) {
+    let (encodings, token_seqs, _, ys) = history(50);
+    let x = Matrix::from_rows(&encodings);
+    let mlp = MlpRegressor::fit(&x, &ys, &MlpRegParams::default());
+    let lstm = LstmRegressor::fit(&token_seqs, &ys, 8, &LstmRegParams::default());
+    let rf = RandomForestRegressor::fit(&x, &ys, &RfParams::default());
+    let probe_enc = &encodings[0];
+    let probe_seq = &token_seqs[0];
+
+    let mut group = c.benchmark_group("surrogate_predict");
+    group.bench_function("random_forest", |b| b.iter(|| black_box(rf.predict(probe_enc))));
+    group.bench_function("mlp", |b| b.iter(|| black_box(mlp.predict(probe_enc))));
+    group.bench_function("lstm", |b| b.iter(|| black_box(lstm.predict(probe_seq))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_surrogate_fit_cost,
+    bench_surrogate_fit_scaling,
+    bench_surrogate_predict_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 10 (and 29): Auto-FP in an AutoML context, default search
+//! space — Auto-FP (PBT) vs TPOT-FP vs Auto-Sklearn-FP vs the HPO
+//! module, per dataset and downstream model, under one shared budget
+//! (the paper uses 600 s; scale with `--budget-ms`).
+//!
+//! Usage: `cargo run --release -p autofp-bench --bin exp_fig10
+//!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all]`
+
+use autofp_bench::HarnessConfig;
+use autofp_preprocess::ParamSpace;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    autofp_bench::automl_cmp::run(&cfg, "Figure 10", "default", ParamSpace::default_space);
+    println!(
+        "\nPaper's shape to match: Auto-FP ahead of TPOT-FP in most cells (larger space,\n\
+         better search algorithm) and competitive with or ahead of HPO, especially for LR\n\
+         and MLP — FP matters as much as hyperparameter tuning."
+    );
+}

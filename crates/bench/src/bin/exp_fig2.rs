@@ -1,0 +1,96 @@
+//! Figure 2: distribution of LR validation accuracy over every pipeline
+//! of length ≤ 4 (2800 pipelines) on heart, forex, pd and wine.
+//!
+//! Prints, per dataset, a 20-bin text histogram of pipeline accuracies,
+//! the no-FP baseline (the paper's red line), and the best/worst
+//! pipelines. Usage:
+//! `cargo run --release -p autofp-bench --bin exp_fig2 [--scale S] [--evals N]`
+
+use autofp_bench::{f4, HarnessConfig};
+use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp_data::spec_by_name;
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::enumerate::total_count;
+use autofp_search::random::Exhaustive;
+use parking_lot::Mutex;
+
+const DATASETS: [&str; 4] = ["heart", "forex", "pd", "wine"];
+const MAX_LEN: usize = 4;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let n_pipelines = match cfg.budget {
+        Budget { max_evals: Some(n), .. } => n.min(total_count(7, MAX_LEN)),
+        _ => total_count(7, MAX_LEN),
+    };
+    println!(
+        "== Figure 2: accuracy distribution over {} pipelines (len <= {MAX_LEN}), LR ==",
+        n_pipelines
+    );
+    println!("(scale {}, seed {})\n", cfg.scale, cfg.seed);
+
+    let results: Mutex<Vec<(String, Vec<f64>, f64)>> = Mutex::new(Vec::new());
+    crossbeam::scope(|scope| {
+        for name in DATASETS {
+            let cfg = cfg.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                let spec = spec_by_name(name).expect("registry dataset");
+                let dataset = cfg.generate(&spec);
+                let ev = Evaluator::new(
+                    &dataset,
+                    EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+                );
+                let mut searcher = Exhaustive { max_len: MAX_LEN };
+                let outcome = run_search(&mut searcher, &ev, Budget::evals(n_pipelines));
+                let accs: Vec<f64> =
+                    outcome.history.trials().iter().map(|t| t.accuracy).collect();
+                results.lock().push((name.to_string(), accs, ev.baseline_accuracy()));
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut all = results.into_inner();
+    all.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, accs, baseline) in &all {
+        println!("--- {name} ({} pipelines evaluated) ---", accs.len());
+        histogram(accs, *baseline);
+        let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = accs.iter().cloned().fold(0.0_f64, f64::max);
+        println!(
+            "  no-FP baseline {}   best pipeline {}   worst pipeline {}",
+            f4(*baseline),
+            f4(max),
+            f4(min)
+        );
+        println!(
+            "  spread: {} of accuracy between worst and best; {} pipelines beat no-FP\n",
+            f4(max - min),
+            accs.iter().filter(|&&a| a > *baseline).count()
+        );
+    }
+    println!(
+        "Paper's shape to match: accuracies spread widely (e.g. heart 0.49..0.88), good\n\
+         pipelines beat no-FP, bad pipelines fall far below it."
+    );
+}
+
+fn histogram(accs: &[f64], baseline: f64) {
+    let min = accs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = accs.iter().cloned().fold(0.0_f64, f64::max);
+    let bins = 20usize;
+    let width = ((max - min) / bins as f64).max(1e-9);
+    let mut counts = vec![0usize; bins];
+    for &a in accs {
+        let b = (((a - min) / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let peak = *counts.iter().max().unwrap_or(&1);
+    for (b, &c) in counts.iter().enumerate() {
+        let lo = min + b as f64 * width;
+        let bar = "#".repeat((c * 50 / peak.max(1)).max(usize::from(c > 0)));
+        let marker = if baseline >= lo && baseline < lo + width { " <- no-FP" } else { "" };
+        println!("  [{:.3},{:.3}) {:>5} {}{}", lo, lo + width, c, bar, marker);
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5: statistics of the 45 benchmark datasets (size, rows,
+//! columns, classes) plus the binary/multi-class split.
+//!
+//! Regenerates the paper's dataset summary from the Table 9 registry.
+//! Usage: `cargo run -p autofp-bench --bin exp_fig5`
+
+use autofp_bench::print_table;
+use autofp_data::registry;
+
+fn main() {
+    let specs = registry();
+    println!("== Figure 5 / Table 9: dataset statistics ==\n");
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                format!("{:.2}", s.size_mb),
+                s.rows.to_string(),
+                s.cols.to_string(),
+                s.classes.to_string(),
+                if s.classes == 2 { "binary".into() } else { "multi".into() },
+                if s.is_high_dimensional() { "high-dim".into() } else { s.size_bucket().into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &["Dataset", "Size (MB)", "# rows", "# cols", "# classes", "Task", "Table 5 bucket"],
+        &rows,
+    );
+
+    let binary = specs.iter().filter(|s| s.classes == 2).count();
+    let sizes: Vec<f64> = specs.iter().map(|s| s.size_mb).collect();
+    let rows_range =
+        (specs.iter().map(|s| s.rows).min().unwrap(), specs.iter().map(|s| s.rows).max().unwrap());
+    let cols_range =
+        (specs.iter().map(|s| s.cols).min().unwrap(), specs.iter().map(|s| s.cols).max().unwrap());
+    println!("\nSummary (paper §5.1):");
+    println!("  datasets: {} ({} binary, {} multi-class)", specs.len(), binary, specs.len() - binary);
+    println!(
+        "  file size: {:.2} MB .. {:.1} MB",
+        sizes.iter().cloned().fold(f64::INFINITY, f64::min),
+        sizes.iter().cloned().fold(0.0, f64::max)
+    );
+    println!("  rows: {} .. {}", rows_range.0, rows_range.1);
+    println!("  cols: {} .. {}", cols_range.0, cols_range.1);
+    println!(
+        "  max classes: {}",
+        specs.iter().map(|s| s.classes).max().unwrap()
+    );
+}

@@ -1,0 +1,102 @@
+//! Figure 6: Hyperband/BOHB parameter adjustment (η and min_budget)
+//! versus random search, on a jasmine-like dataset with LR, across
+//! increasing time limits.
+//!
+//! Usage: `cargo run --release -p autofp-bench --bin exp_fig6
+//!   [--scale S] [--budget-ms MS] [--seed X]`
+//! `--budget-ms` sets the *largest* time limit of the sweep; the sweep
+//! uses {1/20, 1/10, 1/4, 1/2, 1} of it (the paper sweeps 1..60 min).
+
+use autofp_bench::{f4, print_table, HarnessConfig};
+use autofp_core::{run_search, Budget, EvalConfig, Evaluator, Searcher};
+use autofp_data::spec_by_name;
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::ParamSpace;
+use autofp_search::{Bohb, Hyperband, RandomSearch};
+use std::time::Duration;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let max_ms = match cfg.budget {
+        Budget { wall_clock: Some(d), .. } => d.as_millis() as u64,
+        _ => 2000,
+    };
+    let limits: Vec<u64> =
+        [20, 10, 4, 2, 1].iter().map(|div| (max_ms / div).max(10)).collect();
+
+    let spec = spec_by_name("jasmine").expect("registry dataset");
+    let dataset = cfg.generate(&spec);
+    let ev = Evaluator::new(
+        &dataset,
+        EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+    );
+    println!("== Figure 6: Hyperband/BOHB parameter sweep vs RS (jasmine, LR) ==");
+    println!("(scale {}, time limits {:?} ms)\n", cfg.scale, limits);
+
+    // Configurations matching the paper's sweep.
+    type Maker = Box<dyn Fn(u64) -> Box<dyn Searcher>>;
+    let space = ParamSpace::default_space;
+    let max_len = cfg.max_len;
+    let configs: Vec<(String, Maker)> = vec![
+        (
+            "HYPERBAND eta=3 min_budget=1".into(),
+            Box::new(move |s| Box::new(Hyperband::with_params(space(), max_len, s, 3.0, 1, 30))),
+        ),
+        (
+            "HYPERBAND eta=5 min_budget=1".into(),
+            Box::new(move |s| Box::new(Hyperband::with_params(space(), max_len, s, 5.0, 1, 30))),
+        ),
+        (
+            "HYPERBAND eta=3 min_budget=8".into(),
+            Box::new(move |s| Box::new(Hyperband::with_params(space(), max_len, s, 3.0, 8, 30))),
+        ),
+        (
+            "HYPERBAND eta=3 min_budget=30".into(),
+            Box::new(move |s| Box::new(Hyperband::with_params(space(), max_len, s, 3.0, 30, 30))),
+        ),
+        (
+            "BOHB eta=3 min_budget=1".into(),
+            Box::new(move |s| Box::new(Bohb::with_params(space(), max_len, s, 3.0, 1, 30))),
+        ),
+        (
+            "BOHB eta=5 min_budget=1".into(),
+            Box::new(move |s| Box::new(Bohb::with_params(space(), max_len, s, 5.0, 1, 30))),
+        ),
+        (
+            "BOHB eta=3 min_budget=8".into(),
+            Box::new(move |s| Box::new(Bohb::with_params(space(), max_len, s, 3.0, 8, 30))),
+        ),
+        (
+            "BOHB eta=3 min_budget=30".into(),
+            Box::new(move |s| Box::new(Bohb::with_params(space(), max_len, s, 3.0, 30, 30))),
+        ),
+        (
+            "RS".into(),
+            Box::new(move |s| Box::new(RandomSearch::new(space(), max_len, s))),
+        ),
+    ];
+
+    let mut header = vec!["Configuration".to_string()];
+    header.extend(limits.iter().map(|ms| format!("{ms} ms")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (name, maker) in &configs {
+        let mut row = vec![name.clone()];
+        for &ms in &limits {
+            let mut searcher = maker(cfg.seed);
+            let out = run_search(
+                searcher.as_mut(),
+                &ev,
+                Budget::wall_clock(Duration::from_millis(ms)),
+            );
+            row.push(f4(out.best_accuracy()));
+        }
+        rows.push(row);
+    }
+    print_table(&header_refs, &rows);
+    println!("\n(no-FP baseline: {})", f4(ev.baseline_accuracy()));
+    println!(
+        "\nPaper's shape to match: across eta and min_budget settings, Hyperband and BOHB\n\
+         rarely exceed plain RS at any time limit (Figure 6)."
+    );
+}

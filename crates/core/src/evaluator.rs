@@ -1,0 +1,200 @@
+//! Pipeline-error evaluation (Eq. 2 / Definition 3 of the paper).
+
+use crate::history::Trial;
+use autofp_data::{Dataset, Split};
+use autofp_models::classifier::{ModelKind, Trainer};
+use autofp_models::metrics::accuracy;
+use autofp_preprocess::Pipeline;
+use std::time::Instant;
+
+/// Configuration of an evaluator.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Downstream model family.
+    pub model: ModelKind,
+    /// Train fraction for the split (paper: 0.8).
+    pub train_fraction: f64,
+    /// Split / training seed.
+    pub seed: u64,
+    /// Cap on training rows used per evaluation (stratified subsample;
+    /// validation is untouched). This is the §8 "reduce data size to
+    /// mitigate the performance bottleneck" extension: searches explore
+    /// more pipelines per second at some fidelity cost.
+    pub train_subsample: Option<usize>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: 0, train_subsample: None }
+    }
+}
+
+/// Evaluates pipelines: transform train+valid, train the downstream
+/// model, report validation accuracy — with per-phase timing.
+pub struct Evaluator {
+    split: Split,
+    trainer: Box<dyn Trainer>,
+    model: ModelKind,
+    baseline: f64,
+}
+
+impl Evaluator {
+    /// Build from a dataset: performs the stratified 80:20 split, then
+    /// measures the no-FP baseline accuracy once.
+    pub fn new(dataset: &Dataset, config: EvalConfig) -> Evaluator {
+        let split = dataset.stratified_split(config.train_fraction, config.seed);
+        Self::from_split(split, config)
+    }
+
+    /// Build from a pre-made split.
+    pub fn from_split(mut split: Split, config: EvalConfig) -> Evaluator {
+        if let Some(cap) = config.train_subsample {
+            split.train = split.train.subsample(cap, config.seed);
+        }
+        let trainer = config.model.trainer(config.seed);
+        let mut ev = Evaluator { split, trainer, model: config.model, baseline: 0.0 };
+        ev.baseline = ev.evaluate(&Pipeline::empty()).accuracy;
+        ev
+    }
+
+    /// The downstream model family.
+    pub fn model(&self) -> ModelKind {
+        self.model
+    }
+
+    /// Validation accuracy with no preprocessing (the paper's "no-FP"
+    /// red line in Figure 2 and the baseline of the ranking filter).
+    pub fn baseline_accuracy(&self) -> f64 {
+        self.baseline
+    }
+
+    /// The underlying split.
+    pub fn split(&self) -> &Split {
+        &self.split
+    }
+
+    /// Evaluate a pipeline at full training budget.
+    pub fn evaluate(&self, pipeline: &Pipeline) -> Trial {
+        self.evaluate_budgeted(pipeline, 1.0)
+    }
+
+    /// Evaluate a pipeline with a fractional training budget (Hyperband
+    /// rungs pass `fraction < 1`).
+    pub fn evaluate_budgeted(&self, pipeline: &Pipeline, fraction: f64) -> Trial {
+        // Prep: fit on train, transform train + valid.
+        let prep_start = Instant::now();
+        let (fitted, train_x) = pipeline.fit_transform(&self.split.train.x);
+        let valid_x = fitted.transform_new(&self.split.valid.x);
+        let prep_time = prep_start.elapsed();
+
+        // Train: fit the downstream model and score validation data.
+        let train_start = Instant::now();
+        let model = self.trainer.fit_budgeted(
+            &train_x,
+            &self.split.train.y,
+            self.split.train.n_classes,
+            fraction,
+        );
+        let preds = model.predict(&valid_x);
+        let train_time = train_start.elapsed();
+
+        let acc = accuracy(&self.split.valid.y, &preds);
+        Trial {
+            pipeline: pipeline.clone(),
+            accuracy: acc,
+            error: 1.0 - acc,
+            prep_time,
+            train_time,
+            train_fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_data::{Personality, SynthConfig};
+    use autofp_preprocess::PreprocKind;
+
+    fn scale_spread_dataset() -> Dataset {
+        let mut p = Personality::default();
+        p.scale_spread = 6.0;
+        p.skew = 0.4;
+        p.class_sep = 2.0;
+        p.label_noise = 0.0;
+        SynthConfig::new("eval-ds", 400, 8, 2, 31).with_personality(p).generate()
+    }
+
+    #[test]
+    fn baseline_matches_empty_pipeline() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let t = ev.evaluate(&Pipeline::empty());
+        assert!((t.accuracy - ev.baseline_accuracy()).abs() < 1e-12);
+        assert!((t.accuracy + t.error - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_scaler_beats_baseline_on_spread_data() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::StandardScaler]));
+        assert!(
+            t.accuracy > ev.baseline_accuracy() + 0.02,
+            "scaled {} vs baseline {}",
+            t.accuracy,
+            ev.baseline_accuracy()
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let p = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler, PreprocKind::PowerTransformer]);
+        let a = ev.evaluate(&p).accuracy;
+        let b = ev.evaluate(&p).accuracy;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::PowerTransformer]));
+        assert!(t.prep_time.as_nanos() > 0);
+        assert!(t.train_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn budgeted_evaluation_records_fraction() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig { model: ModelKind::Xgb, ..Default::default() });
+        let t = ev.evaluate_budgeted(&Pipeline::empty(), 0.25);
+        assert!((t.train_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_subsample_caps_training_rows_only() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(
+            &d,
+            EvalConfig { train_subsample: Some(50), ..Default::default() },
+        );
+        assert_eq!(ev.split().train.n_rows(), 50);
+        // Validation keeps its full 20%.
+        assert_eq!(ev.split().valid.n_rows(), 80);
+        let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::StandardScaler]));
+        assert!((0.0..=1.0).contains(&t.accuracy));
+    }
+
+    #[test]
+    fn all_three_model_kinds_evaluate() {
+        let d = SynthConfig::new("eval-3m", 150, 5, 3, 7).generate();
+        for model in ModelKind::ALL {
+            let ev = Evaluator::new(&d, EvalConfig { model, seed: 1, ..Default::default() });
+            let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]));
+            assert!((0.0..=1.0).contains(&t.accuracy), "{model}: {}", t.accuracy);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! The unified search framework (Algorithm 1 of the paper).
+//!
+//! Every search algorithm interacts with the benchmark exclusively
+//! through a [`SearchContext`]: it asks for evaluations, the context
+//! enforces the budget, records trials, and — by timing the gaps
+//! *between* evaluations — attributes algorithm-side overhead to the
+//! "Pick" phase of the Figure 7 breakdown (Steps 2-3 of Algorithm 1),
+//! while the evaluator attributes "Prep" and "Train" (Step 4).
+
+use crate::budget::{Budget, BudgetClock};
+use crate::evaluator::Evaluator;
+use crate::history::{PhaseBreakdown, Trial, TrialHistory};
+use autofp_preprocess::Pipeline;
+use std::time::{Duration, Instant};
+
+/// A pipeline search algorithm (one of the paper's 15, or an extension).
+pub trait Searcher {
+    /// Display name as used in the paper's tables ("RS", "PBT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Run until the context's budget is exhausted.
+    ///
+    /// Implementations should call [`SearchContext::evaluate`] in a loop
+    /// and return when it yields `None` (budget exhausted). Returning
+    /// early is allowed (e.g. an exhaustive searcher that finishes).
+    fn search(&mut self, ctx: &mut SearchContext);
+}
+
+/// Everything a searcher may touch: evaluation, budget state, history.
+pub struct SearchContext<'a> {
+    evaluator: &'a Evaluator,
+    clock: BudgetClock,
+    history: TrialHistory,
+    pick_time: Duration,
+    last_eval_end: Instant,
+}
+
+impl<'a> SearchContext<'a> {
+    /// Start a context over an evaluator with a budget.
+    pub fn new(evaluator: &'a Evaluator, budget: Budget) -> SearchContext<'a> {
+        SearchContext {
+            evaluator,
+            clock: budget.start(),
+            history: TrialHistory::new(),
+            pick_time: Duration::ZERO,
+            last_eval_end: Instant::now(),
+        }
+    }
+
+    /// True once the budget is exhausted; searchers should then return.
+    pub fn exhausted(&self) -> bool {
+        self.clock.exhausted()
+    }
+
+    /// Remaining budget fraction in `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        self.clock.remaining_fraction()
+    }
+
+    /// Evaluate a pipeline at full training budget. Returns `None` when
+    /// the budget was already exhausted (the trial is *not* run).
+    pub fn evaluate(&mut self, pipeline: &Pipeline) -> Option<Trial> {
+        self.evaluate_budgeted(pipeline, 1.0)
+    }
+
+    /// Evaluate with a fractional training budget (bandit rungs).
+    pub fn evaluate_budgeted(&mut self, pipeline: &Pipeline, fraction: f64) -> Option<Trial> {
+        if self.clock.exhausted() {
+            return None;
+        }
+        // Time since the previous evaluation ended is algorithm overhead.
+        self.pick_time += self.last_eval_end.elapsed();
+        let trial = self.evaluator.evaluate_budgeted(pipeline, fraction);
+        self.clock.note_eval(fraction);
+        self.last_eval_end = Instant::now();
+        self.history.push(trial.clone());
+        Some(trial)
+    }
+
+    /// The evaluator's no-FP baseline accuracy.
+    pub fn baseline_accuracy(&self) -> f64 {
+        self.evaluator.baseline_accuracy()
+    }
+
+    /// Training-set size (rows), available to algorithms that scale
+    /// their own parameters (e.g. Hyperband's resource unit).
+    pub fn train_rows(&self) -> usize {
+        self.evaluator.split().train.n_rows()
+    }
+
+    /// History so far.
+    pub fn history(&self) -> &TrialHistory {
+        &self.history
+    }
+
+    /// Finish: consume the context, producing the outcome.
+    pub fn finish(self, algorithm: &'static str) -> SearchOutcome {
+        let (prep, train) = self.history.totals();
+        SearchOutcome {
+            algorithm,
+            breakdown: PhaseBreakdown { pick: self.pick_time, prep, train },
+            history: self.history,
+            elapsed: self.clock.elapsed(),
+        }
+    }
+}
+
+/// Result of one search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The searcher's display name.
+    pub algorithm: &'static str,
+    /// Every evaluated trial, in evaluation order.
+    pub history: TrialHistory,
+    /// Pick/Prep/Train time attribution (Figure 7).
+    pub breakdown: PhaseBreakdown,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl SearchOutcome {
+    /// Best trial (fully trained preferred).
+    pub fn best(&self) -> Option<&Trial> {
+        self.history.best()
+    }
+
+    /// Best validation accuracy found (0.0 if no trial ran).
+    pub fn best_accuracy(&self) -> f64 {
+        self.history.best_accuracy()
+    }
+}
+
+/// Run a searcher against an evaluator under a budget.
+pub fn run_search(
+    searcher: &mut dyn Searcher,
+    evaluator: &Evaluator,
+    budget: Budget,
+) -> SearchOutcome {
+    let mut ctx = SearchContext::new(evaluator, budget);
+    searcher.search(&mut ctx);
+    ctx.finish(searcher.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalConfig;
+    use autofp_data::SynthConfig;
+    use autofp_preprocess::{ParamSpace, PreprocKind};
+
+    struct FixedSearcher;
+    impl Searcher for FixedSearcher {
+        fn name(&self) -> &'static str {
+            "FIXED"
+        }
+        fn search(&mut self, ctx: &mut SearchContext) {
+            let space = ParamSpace::default_space();
+            let mut rng = autofp_linalg::rng::rng_from_seed(1);
+            while ctx.evaluate(&space.sample_pipeline(&mut rng, 4)).is_some() {}
+        }
+    }
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("fw", 120, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    #[test]
+    fn budget_limits_evaluations() {
+        let ev = evaluator();
+        let outcome = run_search(&mut FixedSearcher, &ev, Budget::evals(5));
+        assert_eq!(outcome.history.len(), 5);
+        assert_eq!(outcome.algorithm, "FIXED");
+        assert!(outcome.best_accuracy() > 0.0);
+    }
+
+    #[test]
+    fn evaluate_returns_none_when_exhausted() {
+        let ev = evaluator();
+        let mut ctx = SearchContext::new(&ev, Budget::evals(1));
+        let p = autofp_preprocess::Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+        assert!(ctx.evaluate(&p).is_some());
+        assert!(ctx.evaluate(&p).is_none());
+        assert!(ctx.exhausted());
+    }
+
+    #[test]
+    fn breakdown_accounts_all_phases() {
+        let ev = evaluator();
+        let outcome = run_search(&mut FixedSearcher, &ev, Budget::evals(3));
+        let b = outcome.breakdown;
+        assert!(b.prep.as_nanos() > 0);
+        assert!(b.train.as_nanos() > 0);
+        let (pick, prep, train) = b.percentages();
+        assert!((pick + prep + train - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn best_accuracy_is_max_over_history() {
+        let ev = evaluator();
+        let outcome = run_search(&mut FixedSearcher, &ev, Budget::evals(8));
+        let max = outcome
+            .history
+            .trials()
+            .iter()
+            .map(|t| t.accuracy)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(outcome.best_accuracy(), max);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Core problem formalization of Auto-FP (§3 of the paper) and the
+//! unified search framework (Algorithm 1, §4.2).
+//!
+//! * [`evaluator::Evaluator`] implements the pipeline error of Eq. 2:
+//!   fit the pipeline on training data, train the downstream classifier
+//!   on the transformed training set, report validation accuracy. Each
+//!   evaluation's preprocessing ("Prep") and training ("Train") time is
+//!   recorded separately, and the [`framework::SearchContext`] measures
+//!   the time an algorithm spends choosing pipelines ("Pick") — the
+//!   three-way breakdown of the paper's Figure 7 bottleneck analysis.
+//! * [`budget::Budget`] expresses the paper's wall-clock search limits
+//!   plus a deterministic evaluation-count alternative used in tests.
+//! * [`framework::Searcher`] is the interface all 15 algorithms
+//!   implement; they interact with the world only through
+//!   [`framework::SearchContext::evaluate`], which enforces the budget
+//!   and appends to the [`history::TrialHistory`].
+//! * [`ranking`] computes the paper's average-ranking tables (Table 4)
+//!   with its tie and ≥1.5%-improvement scenario rules.
+
+pub mod budget;
+pub mod evaluator;
+pub mod framework;
+pub mod history;
+pub mod patterns;
+pub mod report;
+pub mod ranking;
+
+pub use budget::{Budget, BudgetClock};
+pub use evaluator::{EvalConfig, Evaluator};
+pub use framework::{run_search, SearchContext, SearchOutcome, Searcher};
+pub use history::{PhaseBreakdown, Trial, TrialHistory};

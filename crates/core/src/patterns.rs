@@ -1,0 +1,184 @@
+//! Frequent-pattern mining over best pipelines (§5.2 of the paper).
+//!
+//! The paper runs FP-growth over the best pipelines PBT finds on all 45
+//! datasets, asking whether "frequent excellent feature preprocessor
+//! patterns" exist — and finds none with meaningful support, which
+//! motivates search over rules. This module implements the equivalent
+//! analysis: level-wise (Apriori-style) mining of frequent *contiguous*
+//! subsequences of preprocessor kinds, with per-pipeline support
+//! counting. For the handful of symbols and short pipelines involved,
+//! level-wise enumeration with prefix pruning is exactly as effective as
+//! FP-growth and much simpler.
+
+use autofp_preprocess::{Pipeline, PreprocKind};
+use std::collections::HashMap;
+
+/// A mined pattern: a contiguous kind subsequence with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqPattern {
+    /// The preprocessor-kind subsequence.
+    pub kinds: Vec<PreprocKind>,
+    /// Number of pipelines containing the pattern.
+    pub count: usize,
+    /// `count / n_pipelines`.
+    pub support: f64,
+}
+
+impl SeqPattern {
+    /// Human-readable pattern ("MinMaxScaler -> Binarizer").
+    pub fn display(&self) -> String {
+        self.kinds.iter().map(|k| k.name()).collect::<Vec<_>>().join(" -> ")
+    }
+}
+
+/// Does `haystack` contain `needle` as a contiguous subsequence?
+fn contains_subsequence(haystack: &[PreprocKind], needle: &[PreprocKind]) -> bool {
+    if needle.is_empty() || needle.len() > haystack.len() {
+        return needle.is_empty();
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Mine all contiguous kind-subsequences with support at least
+/// `min_support`, up to length `max_pattern_len`, sorted by descending
+/// support (ties: shorter first, then lexicographic).
+pub fn mine_frequent_subsequences(
+    pipelines: &[Pipeline],
+    min_support: f64,
+    max_pattern_len: usize,
+) -> Vec<SeqPattern> {
+    if pipelines.is_empty() {
+        return Vec::new();
+    }
+    let sequences: Vec<Vec<PreprocKind>> = pipelines.iter().map(Pipeline::kinds).collect();
+    let n = sequences.len() as f64;
+    let min_count = (min_support * n).ceil().max(1.0) as usize;
+
+    let mut frequent: Vec<SeqPattern> = Vec::new();
+    // Level 1.
+    let mut current: Vec<Vec<PreprocKind>> =
+        PreprocKind::ALL.iter().map(|&k| vec![k]).collect();
+    let mut level = 1usize;
+    while !current.is_empty() && level <= max_pattern_len {
+        let mut counts: HashMap<Vec<PreprocKind>, usize> = HashMap::new();
+        for cand in &current {
+            let count = sequences.iter().filter(|s| contains_subsequence(s, cand)).count();
+            if count >= min_count {
+                counts.insert(cand.clone(), count);
+            }
+        }
+        // Record level's frequent patterns and build next candidates by
+        // appending every symbol to each frequent pattern (prefix-pruned
+        // by construction).
+        let mut next = Vec::new();
+        for (kinds, count) in &counts {
+            frequent.push(SeqPattern {
+                kinds: kinds.clone(),
+                count: *count,
+                support: *count as f64 / n,
+            });
+            for &k in &PreprocKind::ALL {
+                let mut extended = kinds.clone();
+                extended.push(k);
+                next.push(extended);
+            }
+        }
+        current = next;
+        level += 1;
+    }
+    frequent.sort_by(|a, b| {
+        b.support
+            .partial_cmp(&a.support)
+            .expect("finite support")
+            .then(a.kinds.len().cmp(&b.kinds.len()))
+            .then(a.kinds.cmp(&b.kinds))
+    });
+    frequent
+}
+
+/// The strongest pattern of length >= `min_len` (the paper cares about
+/// multi-preprocessor patterns; single symbols are trivially frequent).
+pub fn strongest_pattern(patterns: &[SeqPattern], min_len: usize) -> Option<&SeqPattern> {
+    patterns.iter().find(|p| p.kinds.len() >= min_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipe(kinds: &[PreprocKind]) -> Pipeline {
+        Pipeline::from_kinds(kinds)
+    }
+
+    #[test]
+    fn finds_planted_pattern() {
+        use PreprocKind::*;
+        let pipelines = vec![
+            pipe(&[MinMaxScaler, StandardScaler, Binarizer]),
+            pipe(&[Normalizer, MinMaxScaler, StandardScaler]),
+            pipe(&[MinMaxScaler, StandardScaler]),
+            pipe(&[PowerTransformer]),
+        ];
+        let patterns = mine_frequent_subsequences(&pipelines, 0.5, 4);
+        let planted = patterns
+            .iter()
+            .find(|p| p.kinds == vec![MinMaxScaler, StandardScaler])
+            .expect("planted pattern found");
+        assert_eq!(planted.count, 3);
+        assert!((planted.support - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_matters_for_subsequences() {
+        use PreprocKind::*;
+        let pipelines = vec![
+            pipe(&[Binarizer, Normalizer]),
+            pipe(&[Normalizer, Binarizer]),
+        ];
+        let patterns = mine_frequent_subsequences(&pipelines, 0.9, 2);
+        // Each 2-pattern appears in only one pipeline: below support 0.9.
+        assert!(patterns.iter().all(|p| p.kinds.len() == 1));
+    }
+
+    #[test]
+    fn support_counts_once_per_pipeline() {
+        use PreprocKind::*;
+        let pipelines = vec![pipe(&[Binarizer, Binarizer, Binarizer])];
+        let patterns = mine_frequent_subsequences(&pipelines, 1.0, 2);
+        let single = patterns.iter().find(|p| p.kinds == vec![Binarizer]).unwrap();
+        assert_eq!(single.count, 1);
+    }
+
+    #[test]
+    fn random_pipelines_have_no_strong_long_pattern() {
+        use autofp_linalg::rng::rng_from_seed;
+        let space = autofp_preprocess::ParamSpace::default_space();
+        let mut rng = rng_from_seed(7);
+        let pipelines: Vec<Pipeline> =
+            (0..200).map(|_| space.sample_pipeline(&mut rng, 5)).collect();
+        let patterns = mine_frequent_subsequences(&pipelines, 0.02, 5);
+        // The strongest length>=2 pattern over uniform pipelines is weak
+        // (expected pair support is a few percent).
+        if let Some(p) = strongest_pattern(&patterns, 2) {
+            assert!(p.support < 0.25, "unexpectedly strong pattern {:?}", p.display());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert!(mine_frequent_subsequences(&[], 0.5, 3).is_empty());
+    }
+
+    #[test]
+    fn sorted_by_support_descending() {
+        use PreprocKind::*;
+        let pipelines = vec![
+            pipe(&[Binarizer]),
+            pipe(&[Binarizer]),
+            pipe(&[Normalizer]),
+        ];
+        let patterns = mine_frequent_subsequences(&pipelines, 0.1, 1);
+        assert_eq!(patterns[0].kinds, vec![Binarizer]);
+        assert!(patterns[0].support >= patterns[1].support);
+    }
+}

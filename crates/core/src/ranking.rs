@@ -1,0 +1,122 @@
+//! Average-ranking computation (Table 4 of the paper).
+//!
+//! The paper ranks the 15 algorithms per *scenario* (dataset × model ×
+//! time budget) by best validation accuracy, keeps only scenarios where
+//! FP improved over the no-FP baseline by at least 1.5 percentage points,
+//! gives tied algorithms the same rank, and averages ranks per algorithm.
+
+use autofp_linalg::stats::average_ranks;
+
+/// Improvement threshold (percentage points) for a scenario to count.
+pub const IMPROVEMENT_THRESHOLD: f64 = 0.015;
+
+/// One scenario's results: the no-FP baseline and each algorithm's best
+/// validation accuracy (parallel to the caller's algorithm list).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// e.g. "heart/LR/60s".
+    pub label: String,
+    /// No-FP baseline validation accuracy.
+    pub baseline: f64,
+    /// Best accuracy per algorithm (same order as the algorithm list).
+    pub accuracies: Vec<f64>,
+}
+
+impl Scenario {
+    /// Whether any algorithm improved on the baseline by the threshold —
+    /// the paper's filter for the 501 "improving" scenarios.
+    pub fn is_improving(&self, threshold: f64) -> bool {
+        self.accuracies.iter().any(|&a| a - self.baseline >= threshold)
+    }
+
+    /// Per-algorithm ranks: rank 1 = highest accuracy; ties share the
+    /// average rank.
+    pub fn ranks(&self) -> Vec<f64> {
+        // `average_ranks` ranks ascending; rank by negative accuracy.
+        let neg: Vec<f64> = self.accuracies.iter().map(|a| -a).collect();
+        average_ranks(&neg)
+    }
+}
+
+/// Average rank per algorithm over the improving scenarios.
+///
+/// Returns `(avg_ranks, n_improving)`. Algorithms are positional — the
+/// caller owns the name list. If no scenario passes the filter, ranks are
+/// all zero.
+pub fn average_rankings(scenarios: &[Scenario], threshold: f64) -> (Vec<f64>, usize) {
+    let improving: Vec<&Scenario> =
+        scenarios.iter().filter(|s| s.is_improving(threshold)).collect();
+    if improving.is_empty() {
+        return (vec![0.0; scenarios.first().map_or(0, |s| s.accuracies.len())], 0);
+    }
+    let n_algs = improving[0].accuracies.len();
+    let mut sums = vec![0.0; n_algs];
+    for s in &improving {
+        assert_eq!(s.accuracies.len(), n_algs, "ragged scenario in {}", s.label);
+        for (sum, r) in sums.iter_mut().zip(s.ranks()) {
+            *sum += r;
+        }
+    }
+    let n = improving.len();
+    for s in &mut sums {
+        *s /= n as f64;
+    }
+    (sums, n)
+}
+
+/// Order algorithm indices by ascending average rank (best first).
+pub fn order_by_rank(avg_ranks: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..avg_ranks.len()).collect();
+    idx.sort_by(|&a, &b| avg_ranks[a].partial_cmp(&avg_ranks[b]).expect("NaN rank"));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_give_one_to_best_and_share_ties() {
+        let s = Scenario {
+            label: "t".into(),
+            baseline: 0.5,
+            accuracies: vec![0.9, 0.7, 0.9, 0.6],
+        };
+        assert_eq!(s.ranks(), vec![1.5, 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn improving_filter_uses_threshold() {
+        let s = Scenario { label: "t".into(), baseline: 0.80, accuracies: vec![0.81, 0.80] };
+        assert!(!s.is_improving(IMPROVEMENT_THRESHOLD));
+        let s2 = Scenario { label: "t".into(), baseline: 0.80, accuracies: vec![0.82, 0.80] };
+        assert!(s2.is_improving(IMPROVEMENT_THRESHOLD));
+    }
+
+    #[test]
+    fn averaging_over_scenarios() {
+        let scenarios = vec![
+            Scenario { label: "a".into(), baseline: 0.5, accuracies: vec![0.9, 0.8] },
+            Scenario { label: "b".into(), baseline: 0.5, accuracies: vec![0.7, 0.9] },
+            // Non-improving scenario must be excluded:
+            Scenario { label: "c".into(), baseline: 0.9, accuracies: vec![0.2, 0.9] },
+        ];
+        let (ranks, n) = average_rankings(&scenarios, IMPROVEMENT_THRESHOLD);
+        assert_eq!(n, 2);
+        assert_eq!(ranks, vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn no_improving_scenarios() {
+        let scenarios =
+            vec![Scenario { label: "a".into(), baseline: 0.99, accuracies: vec![0.5, 0.5] }];
+        let (ranks, n) = average_rankings(&scenarios, IMPROVEMENT_THRESHOLD);
+        assert_eq!(n, 0);
+        assert_eq!(ranks, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ordering_by_rank() {
+        assert_eq!(order_by_rank(&[3.0, 1.0, 2.0]), vec![1, 2, 0]);
+    }
+}

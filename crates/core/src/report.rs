@@ -1,0 +1,143 @@
+//! Rendering search outcomes as text artifacts (TSV and Markdown).
+//!
+//! The experiment harness and the CLI both need to persist results in a
+//! form that diff-based tooling and humans can read. This module keeps
+//! the rendering logic next to the data it renders.
+
+use crate::framework::SearchOutcome;
+use std::fmt::Write as _;
+
+/// Render an outcome's trials as TSV (`index`, `pipeline`, `accuracy`,
+/// `error`, `prep_ms`, `train_ms`, `train_fraction`), with a header row.
+pub fn trials_tsv(outcome: &SearchOutcome) -> String {
+    let mut out = String::from("index\tpipeline\taccuracy\terror\tprep_ms\ttrain_ms\ttrain_fraction\n");
+    for (i, t) in outcome.history.trials().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i}\t{}\t{:.6}\t{:.6}\t{:.3}\t{:.3}\t{:.3}",
+            t.pipeline,
+            t.accuracy,
+            t.error,
+            t.prep_time.as_secs_f64() * 1e3,
+            t.train_time.as_secs_f64() * 1e3,
+            t.train_fraction,
+        );
+    }
+    out
+}
+
+/// Render a compact Markdown summary of one search run.
+pub fn summary_markdown(outcome: &SearchOutcome, baseline: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} search summary\n", outcome.algorithm);
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| evaluations | {} |", outcome.history.len());
+    let _ = writeln!(out, "| elapsed | {:.3} s |", outcome.elapsed.as_secs_f64());
+    let _ = writeln!(out, "| no-FP baseline | {baseline:.4} |");
+    let _ = writeln!(out, "| best accuracy | {:.4} |", outcome.best_accuracy());
+    let _ = writeln!(
+        out,
+        "| improvement | {:+.2} pp |",
+        (outcome.best_accuracy() - baseline) * 100.0
+    );
+    if let Some(best) = outcome.best() {
+        let _ = writeln!(out, "| best pipeline | `{}` |", best.pipeline);
+    }
+    let (pick, prep, train) = outcome.breakdown.percentages();
+    let _ = writeln!(
+        out,
+        "| phase split | Pick {pick:.0}% / Prep {prep:.0}% / Train {train:.0}% |"
+    );
+    out
+}
+
+/// The best-so-far accuracy after each evaluation (the paper's anytime
+/// curves, Figures 17-19).
+pub fn best_so_far_curve(outcome: &SearchOutcome) -> Vec<f64> {
+    let mut best = 0.0_f64;
+    outcome
+        .history
+        .trials()
+        .iter()
+        .map(|t| {
+            // Partial rungs do not improve the reported best.
+            if t.train_fraction >= 1.0 - 1e-9 {
+                best = best.max(t.accuracy);
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{EvalConfig, Evaluator};
+    use crate::framework::{run_search, SearchContext, Searcher};
+    use crate::Budget;
+    use autofp_data::SynthConfig;
+    use autofp_preprocess::{ParamSpace, Pipeline};
+
+    struct Fixed;
+    impl Searcher for Fixed {
+        fn name(&self) -> &'static str {
+            "FIXED"
+        }
+        fn search(&mut self, ctx: &mut SearchContext) {
+            let space = ParamSpace::default_space();
+            let mut rng = autofp_linalg::rng::rng_from_seed(5);
+            while ctx.evaluate(&space.sample_pipeline(&mut rng, 3)).is_some() {}
+        }
+    }
+
+    fn outcome() -> (SearchOutcome, f64) {
+        let d = SynthConfig::new("report", 100, 4, 2, 3).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        (run_search(&mut Fixed, &ev, Budget::evals(6)), ev.baseline_accuracy())
+    }
+
+    #[test]
+    fn tsv_has_header_and_one_row_per_trial() {
+        let (out, _) = outcome();
+        let tsv = trials_tsv(&out);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].starts_with("index\tpipeline"));
+        assert_eq!(lines[1].split('\t').count(), 7);
+    }
+
+    #[test]
+    fn markdown_mentions_best_pipeline() {
+        let (out, baseline) = outcome();
+        let md = summary_markdown(&out, baseline);
+        assert!(md.contains("best accuracy"));
+        assert!(md.contains("FIXED"));
+        assert!(md.contains("| best pipeline |"));
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let (out, _) = outcome();
+        let curve = best_so_far_curve(&out);
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(*curve.last().unwrap(), out.best_accuracy());
+    }
+
+    #[test]
+    fn partial_rungs_do_not_raise_the_curve() {
+        let d = SynthConfig::new("report2", 80, 3, 2, 9).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let mut ctx = SearchContext::new(&ev, Budget::evals(3));
+        let p = Pipeline::empty();
+        ctx.evaluate_budgeted(&p, 0.1);
+        ctx.evaluate(&p);
+        let out = ctx.finish("manual");
+        let curve = best_so_far_curve(&out);
+        assert_eq!(curve[0], 0.0);
+        assert!(curve[1] > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal CSV import/export for datasets.
+//!
+//! Format: an optional header row, numeric feature columns, and the class
+//! label as the **last** column (integer, or any distinct strings which
+//! are mapped to class indices in first-appearance order). This is enough
+//! to round-trip datasets to disk and to load real data when a user has
+//! it; the benchmark itself runs on the synthetic registry.
+
+use crate::dataset::Dataset;
+use autofp_linalg::Matrix;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parse a dataset from CSV text. `has_header` skips the first line.
+pub fn parse_csv(name: &str, text: &str, has_header: bool) -> Result<Dataset, String> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if lineno == 0 && has_header {
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 2 {
+            return Err(format!("line {}: need at least one feature and a label", lineno + 1));
+        }
+        match width {
+            None => width = Some(fields.len()),
+            Some(w) if w != fields.len() => {
+                return Err(format!("line {}: expected {} fields, found {}", lineno + 1, w, fields.len()))
+            }
+            _ => {}
+        }
+        let (feat, label) = fields.split_at(fields.len() - 1);
+        let mut row = Vec::with_capacity(feat.len());
+        for (col, f) in feat.iter().enumerate() {
+            let v: f64 = f
+                .parse()
+                .map_err(|_| format!("line {}, column {}: '{}' is not numeric", lineno + 1, col + 1, f))?;
+            row.push(v);
+        }
+        rows.push(row);
+        labels.push(label[0].to_string());
+    }
+    if rows.is_empty() {
+        return Err("no data rows".into());
+    }
+    // Map labels to class indices in order of first appearance.
+    let mut class_of: HashMap<String, usize> = HashMap::new();
+    let mut y = Vec::with_capacity(labels.len());
+    for l in labels {
+        let next = class_of.len();
+        let idx = *class_of.entry(l).or_insert(next);
+        y.push(idx);
+    }
+    let n_classes = class_of.len();
+    Ok(Dataset::new(name, Matrix::from_rows(&rows), y, n_classes))
+}
+
+/// Serialize a dataset as CSV (header `f0,...,fN,label`).
+pub fn to_csv(d: &Dataset) -> String {
+    let mut out = String::new();
+    for j in 0..d.n_cols() {
+        let _ = write!(out, "f{j},");
+    }
+    out.push_str("label\n");
+    for (i, row) in d.x.rows_iter().enumerate() {
+        for v in row {
+            let _ = write!(out, "{v},");
+        }
+        let _ = writeln!(out, "{}", d.y[i]);
+    }
+    out
+}
+
+/// Load a dataset from a CSV file (header required).
+pub fn read_csv_file(path: impl AsRef<Path>) -> io::Result<Dataset> {
+    let path = path.as_ref();
+    let text = fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("csv");
+    parse_csv(name, &text, true).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Write a dataset to a CSV file.
+pub fn write_csv_file(d: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    fs::write(path, to_csv(d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let d = parse_csv("t", "a,b,label\n1,2,0\n3,4,1\n5,6,0\n", true).unwrap();
+        assert_eq!(d.x.shape(), (3, 2));
+        assert_eq!(d.y, vec![0, 1, 0]);
+        assert_eq!(d.n_classes, 2);
+    }
+
+    #[test]
+    fn parse_string_labels() {
+        let d = parse_csv("t", "1,cat\n2,dog\n3,cat\n4,bird\n", false).unwrap();
+        assert_eq!(d.y, vec![0, 1, 0, 2]);
+        assert_eq!(d.n_classes, 3);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let orig = crate::synth::SynthConfig::new("rt", 50, 4, 3, 7).generate();
+        let text = to_csv(&orig);
+        let back = parse_csv("rt", &text, true).unwrap();
+        assert_eq!(back.x.shape(), orig.x.shape());
+        assert_eq!(back.y, orig.y);
+        for (a, b) in back.x.as_slice().iter().zip(orig.x.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_csv("t", "", false).is_err());
+        assert!(parse_csv("t", "1,2,0\n1,0\n", false).is_err());
+        assert!(parse_csv("t", "x,0\n", false).is_err());
+        assert!(parse_csv("t", "justone\n", false).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = crate::synth::SynthConfig::new("file", 20, 3, 2, 1).generate();
+        let path = std::env::temp_dir().join("autofp_csv_test.csv");
+        write_csv_file(&d, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.n_rows(), 20);
+        let _ = std::fs::remove_file(&path);
+    }
+}

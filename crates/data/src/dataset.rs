@@ -1,0 +1,257 @@
+//! The in-memory classification dataset and train/validation splitting.
+
+use autofp_linalg::rng::{derive_seed, rng_from_seed};
+use autofp_linalg::Matrix;
+use rand::seq::SliceRandom;
+
+/// A labelled tabular classification dataset.
+///
+/// Features are dense `f64` (the paper restricts itself to numerical
+/// datasets: "for categorical and textual features, we need to first
+/// transform them into numerical features"); labels are class indices in
+/// `0..n_classes`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one row per example.
+    pub x: Matrix,
+    /// Class index per example.
+    pub y: Vec<usize>,
+    /// Number of distinct classes.
+    pub n_classes: usize,
+    /// Human-readable name (registry name or file stem).
+    pub name: String,
+}
+
+/// A train/validation split of a dataset (the paper uses 80:20).
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training portion (the paper's 80%).
+    pub train: Dataset,
+    /// Validation portion (the paper's 20%).
+    pub valid: Dataset,
+}
+
+impl Dataset {
+    /// Construct a dataset, validating labels against `n_classes`.
+    ///
+    /// # Panics
+    /// Panics if row counts disagree or a label is out of range.
+    pub fn new(name: impl Into<String>, x: Matrix, y: Vec<usize>, n_classes: usize) -> Self {
+        assert_eq!(x.nrows(), y.len(), "feature/label row mismatch");
+        assert!(n_classes >= 1, "need at least one class");
+        assert!(y.iter().all(|&c| c < n_classes), "label out of range");
+        Self { x, y, n_classes, name: name.into() }
+    }
+
+    /// Number of examples.
+    pub fn n_rows(&self) -> usize {
+        self.x.nrows()
+    }
+
+    /// Number of features.
+    pub fn n_cols(&self) -> usize {
+        self.x.ncols()
+    }
+
+    /// Per-class example counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in &self.y {
+            counts[c] += 1;
+        }
+        counts
+    }
+
+    /// Approximate in-memory size in megabytes (8 bytes per cell), used
+    /// for the paper's small/medium/large bottleneck bucketing (Table 5).
+    pub fn size_mb(&self) -> f64 {
+        (self.n_rows() * self.n_cols() * 8) as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Replace the feature matrix (labels unchanged). Used after a
+    /// preprocessing pipeline transforms the features.
+    pub fn with_features(&self, x: Matrix) -> Dataset {
+        assert_eq!(x.nrows(), self.n_rows());
+        Dataset { x, y: self.y.clone(), n_classes: self.n_classes, name: self.name.clone() }
+    }
+
+    /// Select a subset of rows.
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+            name: self.name.clone(),
+        }
+    }
+
+    /// Deterministic stratified train/validation split.
+    ///
+    /// `train_fraction` of each class goes to the training set (the paper
+    /// uses 0.8). Classes with a single example land in training.
+    pub fn stratified_split(&self, train_fraction: f64, seed: u64) -> Split {
+        assert!((0.0..=1.0).contains(&train_fraction));
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &c) in self.y.iter().enumerate() {
+            per_class[c].push(i);
+        }
+        let mut train_idx = Vec::new();
+        let mut valid_idx = Vec::new();
+        for (c, idx) in per_class.iter_mut().enumerate() {
+            let mut rng = rng_from_seed(derive_seed(seed, c as u64));
+            idx.shuffle(&mut rng);
+            let n_train = if idx.len() <= 1 {
+                idx.len()
+            } else {
+                ((idx.len() as f64 * train_fraction).round() as usize).clamp(1, idx.len() - 1)
+            };
+            train_idx.extend_from_slice(&idx[..n_train]);
+            valid_idx.extend_from_slice(&idx[n_train..]);
+        }
+        train_idx.sort_unstable();
+        valid_idx.sort_unstable();
+        Split { train: self.select(&train_idx), valid: self.select(&valid_idx) }
+    }
+
+    /// Deterministic subsample of at most `max_rows` rows, stratified.
+    /// Used by budgeted evaluation (Hyperband-style partial data) and by
+    /// the meta-feature extractor on large datasets.
+    pub fn subsample(&self, max_rows: usize, seed: u64) -> Dataset {
+        if self.n_rows() <= max_rows {
+            return self.clone();
+        }
+        let frac = max_rows as f64 / self.n_rows() as f64;
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &c) in self.y.iter().enumerate() {
+            per_class[c].push(i);
+        }
+        let mut keep = Vec::with_capacity(max_rows);
+        for (c, idx) in per_class.iter_mut().enumerate() {
+            let mut rng = rng_from_seed(derive_seed(seed, 1000 + c as u64));
+            idx.shuffle(&mut rng);
+            let k = ((idx.len() as f64 * frac).round() as usize).max(1).min(idx.len());
+            keep.extend_from_slice(&idx[..k]);
+        }
+        keep.sort_unstable();
+        keep.truncate(max_rows);
+        self.select(&keep)
+    }
+
+    /// K-fold cross-validation index pairs `(train, test)`, stratified.
+    pub fn stratified_kfold(&self, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &c) in self.y.iter().enumerate() {
+            per_class[c].push(i);
+        }
+        let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (c, idx) in per_class.iter_mut().enumerate() {
+            let mut rng = rng_from_seed(derive_seed(seed, 2000 + c as u64));
+            idx.shuffle(&mut rng);
+            for (j, &i) in idx.iter().enumerate() {
+                folds[j % k].push(i);
+            }
+        }
+        (0..k)
+            .map(|f| {
+                let test: Vec<usize> = folds[f].clone();
+                let train: Vec<usize> =
+                    folds.iter().enumerate().filter(|&(i, _)| i != f).flat_map(|(_, v)| v.iter().copied()).collect();
+                (train, test)
+            })
+            .collect()
+    }
+
+    /// The majority-class baseline accuracy (useful as a sanity floor).
+    pub fn majority_accuracy(&self) -> f64 {
+        let counts = self.class_counts();
+        let max = counts.into_iter().max().unwrap_or(0);
+        if self.n_rows() == 0 {
+            0.0
+        } else {
+            max as f64 / self.n_rows() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new("toy", Matrix::from_rows(&rows), y, classes)
+    }
+
+    #[test]
+    fn split_is_stratified_and_deterministic() {
+        let d = toy(100, 4);
+        let s1 = d.stratified_split(0.8, 7);
+        let s2 = d.stratified_split(0.8, 7);
+        assert_eq!(s1.train.y, s2.train.y);
+        assert_eq!(s1.train.n_rows(), 80);
+        assert_eq!(s1.valid.n_rows(), 20);
+        let counts = s1.train.class_counts();
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn split_keeps_rows_disjoint_and_complete() {
+        let d = toy(53, 3);
+        let s = d.stratified_split(0.8, 1);
+        assert_eq!(s.train.n_rows() + s.valid.n_rows(), 53);
+        // Rows carry unique feature values, so check disjointness via col 0.
+        let mut all: Vec<f64> = s.train.x.col(0);
+        all.extend(s.valid.x.col(0));
+        all.sort_by(f64::total_cmp);
+        all.dedup();
+        assert_eq!(all.len(), 53);
+    }
+
+    #[test]
+    fn tiny_class_goes_to_train() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let d = Dataset::new("t", x, vec![0, 0, 0, 1], 2);
+        let s = d.stratified_split(0.8, 0);
+        assert_eq!(s.train.class_counts()[1], 1);
+    }
+
+    #[test]
+    fn subsample_respects_max_and_classes() {
+        let d = toy(1000, 5);
+        let s = d.subsample(100, 3);
+        assert!(s.n_rows() <= 100);
+        assert!(s.class_counts().iter().all(|&c| c > 0));
+        // No-op when already small.
+        assert_eq!(d.subsample(5000, 3).n_rows(), 1000);
+    }
+
+    #[test]
+    fn kfold_covers_everything_once() {
+        let d = toy(30, 3);
+        let folds = d.stratified_kfold(3, 5);
+        assert_eq!(folds.len(), 3);
+        let mut seen = vec![0usize; 30];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 30);
+            for &i in test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn majority_accuracy_simple() {
+        let x = Matrix::zeros(4, 1);
+        let d = Dataset::new("m", x, vec![0, 0, 0, 1], 2);
+        assert_eq!(d.majority_accuracy(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let _ = Dataset::new("bad", Matrix::zeros(2, 1), vec![0, 5], 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Missing-value imputation.
+//!
+//! The paper's datasets are pre-cleaned numerical tables, but real CSVs
+//! carry NaN cells (and the meta-features of Table 10 explicitly count
+//! them). Before searching pipelines on such data, impute: the seven
+//! preprocessors define their fit statistics over finite values only,
+//! but downstream models see every cell. Mean/median imputation is the
+//! scikit-learn `SimpleImputer` analogue.
+
+use crate::dataset::Dataset;
+use autofp_linalg::stats;
+use autofp_linalg::Matrix;
+
+/// Imputation strategy for non-finite cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputeStrategy {
+    /// Replace with the column mean of finite values.
+    Mean,
+    /// Replace with the column median of finite values.
+    Median,
+    /// Replace with a constant.
+    Zero,
+}
+
+/// Fitted per-column fill values.
+#[derive(Debug, Clone)]
+pub struct FittedImputer {
+    fill: Vec<f64>,
+}
+
+impl FittedImputer {
+    /// Learn fill values from the finite cells of `x`. Columns with no
+    /// finite value fill with 0.
+    pub fn fit(x: &Matrix, strategy: ImputeStrategy) -> FittedImputer {
+        let fill = (0..x.ncols())
+            .map(|j| {
+                let col: Vec<f64> = x.col(j).into_iter().filter(|v| v.is_finite()).collect();
+                if col.is_empty() {
+                    return 0.0;
+                }
+                match strategy {
+                    ImputeStrategy::Mean => stats::mean(&col),
+                    ImputeStrategy::Median => stats::median(&col),
+                    ImputeStrategy::Zero => 0.0,
+                }
+            })
+            .collect();
+        FittedImputer { fill }
+    }
+
+    /// Replace every non-finite cell in place.
+    pub fn transform(&self, x: &mut Matrix) {
+        let cols = x.ncols();
+        assert_eq!(cols, self.fill.len(), "column count mismatch");
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            if !v.is_finite() {
+                *v = self.fill[i % cols];
+            }
+        }
+    }
+
+    /// The learned fill value per column.
+    pub fn fill_values(&self) -> &[f64] {
+        &self.fill
+    }
+}
+
+/// Convenience: impute a whole dataset (fit + transform on the same
+/// data; call before splitting — leakage through column means of
+/// missing cells is negligible and matches common practice).
+pub fn impute_dataset(dataset: &Dataset, strategy: ImputeStrategy) -> Dataset {
+    let imputer = FittedImputer::fit(&dataset.x, strategy);
+    let mut x = dataset.x.clone();
+    imputer.transform(&mut x);
+    dataset.with_features(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn holey() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, f64::NAN],
+            vec![3.0, 10.0],
+            vec![f64::INFINITY, 20.0],
+            vec![5.0, 30.0],
+        ])
+    }
+
+    #[test]
+    fn mean_imputation_uses_finite_mean() {
+        let x = holey();
+        let imp = FittedImputer::fit(&x, ImputeStrategy::Mean);
+        assert_eq!(imp.fill_values(), &[3.0, 20.0]);
+        let mut m = x.clone();
+        imp.transform(&mut m);
+        assert!(m.is_finite());
+        assert_eq!(m.get(2, 0), 3.0);
+        assert_eq!(m.get(0, 1), 20.0);
+    }
+
+    #[test]
+    fn median_imputation() {
+        let x = Matrix::column_vector(&[1.0, f64::NAN, 100.0, 2.0]);
+        let imp = FittedImputer::fit(&x, ImputeStrategy::Median);
+        assert_eq!(imp.fill_values(), &[2.0]);
+    }
+
+    #[test]
+    fn zero_strategy_and_all_missing_column() {
+        let x = Matrix::from_rows(&[vec![f64::NAN, 1.0], vec![f64::NAN, 2.0]]);
+        let imp = FittedImputer::fit(&x, ImputeStrategy::Mean);
+        assert_eq!(imp.fill_values()[0], 0.0);
+        let imp0 = FittedImputer::fit(&x, ImputeStrategy::Zero);
+        assert_eq!(imp0.fill_values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn finite_cells_are_untouched() {
+        let x = holey();
+        let imp = FittedImputer::fit(&x, ImputeStrategy::Mean);
+        let mut m = x.clone();
+        imp.transform(&mut m);
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.get(3, 1), 30.0);
+    }
+
+    #[test]
+    fn impute_dataset_roundtrip() {
+        let mut d = crate::synth::SynthConfig::new("imp", 50, 4, 2, 3).generate();
+        d.x.set(0, 0, f64::NAN);
+        d.x.set(5, 2, f64::NEG_INFINITY);
+        let clean = impute_dataset(&d, ImputeStrategy::Median);
+        assert!(clean.x.is_finite());
+        assert_eq!(clean.y, d.y);
+        assert_eq!(clean.n_rows(), 50);
+    }
+}

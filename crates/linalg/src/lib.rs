@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+//! Dense linear algebra and statistics kernel for the Auto-FP workspace.
+//!
+//! The Auto-FP study leans on NumPy/SciPy for its numeric substrate; this
+//! crate is the from-scratch Rust replacement. It deliberately stays small:
+//! a row-major [`Matrix`], descriptive statistics ([`stats`]), probability
+//! helpers ([`dist`]), principal component analysis ([`pca`]), and seeded
+//! randomness utilities ([`rng`]). Everything downstream (preprocessors,
+//! models, surrogates, meta-features) is built on these primitives.
+
+pub mod dist;
+pub mod matrix;
+pub mod pca;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;

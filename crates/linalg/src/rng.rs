@@ -1,0 +1,164 @@
+//! Seeded randomness helpers shared across the workspace.
+//!
+//! Every stochastic component in this reproduction takes an explicit seed;
+//! these helpers centralize the idioms (seeded RNG construction, stream
+//! derivation, shuffling, categorical and weighted choice) so behaviour is
+//! identical across crates.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Construct a deterministic RNG from a seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from a parent seed and a stream id.
+///
+/// Uses the splitmix64 finalizer so nearby `(seed, stream)` pairs produce
+/// unrelated child seeds.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx
+}
+
+/// Uniformly choose one element of a slice.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn choose<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "choose from empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Sample an index according to non-negative weights.
+///
+/// Falls back to uniform if all weights are zero or non-finite.
+pub fn weighted_index(rng: &mut StdRng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted choice over empty weights");
+    let total: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample `k` distinct indices from `0..n` (Floyd's algorithm would be
+/// fancier; a partial Fisher-Yates is plenty here).
+pub fn sample_indices(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let k = k.min(n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Standard normal sample (Box-Muller; two uniforms per call, second
+/// value discarded for simplicity).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = rng_from_seed(42);
+        let mut b = rng_from_seed(42);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_varies_by_stream() {
+        let s0 = derive_seed(7, 0);
+        let s1 = derive_seed(7, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(derive_seed(7, 1), s1);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = rng_from_seed(1);
+        let mut p = permutation(&mut rng, 100);
+        p.sort_unstable();
+        assert_eq!(p, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = rng_from_seed(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_index(&mut rng, &[1.0, 0.0, 3.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_all_zero_falls_back_to_uniform() {
+        let mut rng = rng_from_seed(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[weighted_index(&mut rng, &[0.0; 4])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = rng_from_seed(5);
+        let s = sample_indices(&mut rng, 50, 10);
+        assert_eq!(s.len(), 10);
+        let mut t = s.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), 10);
+        // k > n clamps
+        assert_eq!(sample_indices(&mut rng, 3, 10).len(), 3);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = rng_from_seed(11);
+        let xs: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let m = crate::stats::mean(&xs);
+        let v = crate::stats::variance(&xs);
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((v - 1.0).abs() < 0.05, "var {v}");
+    }
+}

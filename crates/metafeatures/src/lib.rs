@@ -1,0 +1,364 @@
+#![warn(missing_docs)]
+//! The 40 dataset meta-features of Auto-Sklearn, as used by the paper's
+//! §2.2 data-characteristics experiment (Table 10).
+//!
+//! Four groups: *simple* (shape, missing values, symbol counts),
+//! *statistical* (per-column skewness/kurtosis, class probabilities,
+//! PCA summaries), *information-theoretic* (class entropy), and
+//! *landmarkers* (5-fold CV scores of six quick learners). The paper
+//! trains a depth-limited decision tree on these 40 features to test
+//! whether any "data characteristic rule" predicts FP effectiveness
+//! (Table 1) — and finds none.
+
+use autofp_data::Dataset;
+use autofp_linalg::pca::Pca;
+use autofp_linalg::rng::derive_seed;
+use autofp_linalg::stats;
+use autofp_models::cv::cross_val_accuracy;
+use autofp_models::simple::{GaussianNbParams, KnnParams, LdaParams};
+use autofp_models::tree::DecisionTreeParams;
+
+/// Names of the 40 meta-features, in extraction order (Table 10 order).
+pub const NAMES: [&str; 40] = [
+    // Simple (18)
+    "NumberOfMissingValues",
+    "PercentageOfMissingValues",
+    "NumberOfFeaturesWithMissingValues",
+    "PercentageOfFeaturesWithMissingValues",
+    "NumberOfInstancesWithMissingValues",
+    "PercentageOfInstancesWithMissingValues",
+    "NumberOfFeatures",
+    "LogNumberOfFeatures",
+    "NumberOfClasses",
+    "DatasetRatio",
+    "LogDatasetRatio",
+    "InverseDatasetRatio",
+    "LogInverseDatasetRatio",
+    "SymbolsSum",
+    "SymbolsSTD",
+    "SymbolsMean",
+    "SymbolsMax",
+    "SymbolsMin",
+    // Statistical (15)
+    "SkewnessSTD",
+    "SkewnessMean",
+    "SkewnessMax",
+    "SkewnessMin",
+    "KurtosisSTD",
+    "KurtosisMean",
+    "KurtosisMax",
+    "KurtosisMin",
+    "ClassProbabilitySTD",
+    "ClassProbabilityMean",
+    "ClassProbabilityMax",
+    "ClassProbabilityMin",
+    "PCASkewnessFirstPC",
+    "PCAKurtosisFirstPC",
+    "PCAFractionOfComponentsFor95PercentVariance",
+    // Information-theoretic (1)
+    "ClassEntropy",
+    // Landmarkers (6)
+    "Landmark1NN",
+    "LandmarkRandomNodeLearner",
+    "LandmarkDecisionNodeLearner",
+    "LandmarkDecisionTree",
+    "LandmarkNaiveBayes",
+    "LandmarkLDA",
+];
+
+/// Extraction limits: large datasets are stratified-subsampled before
+/// the quadratic-ish parts (PCA, landmarkers), as Auto-Sklearn does.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Row cap for landmarkers and PCA.
+    pub max_rows: usize,
+    /// Feature cap for the PCA summaries.
+    pub max_pca_features: usize,
+    /// CV folds for the landmarkers (Auto-Sklearn uses 5).
+    pub folds: usize,
+    /// Seed for subsampling and landmarker folds.
+    pub seed: u64,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig { max_rows: 1500, max_pca_features: 64, folds: 5, seed: 0 }
+    }
+}
+
+/// The extracted meta-feature vector.
+#[derive(Debug, Clone)]
+pub struct MetaFeatures {
+    values: Vec<f64>,
+}
+
+impl MetaFeatures {
+    /// Value by meta-feature name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        NAMES.iter().position(|&n| n == name).map(|i| self.values[i])
+    }
+
+    /// The full 40-vector, ordered as [`NAMES`].
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Extract all 40 meta-features.
+pub fn extract(dataset: &Dataset, config: &ExtractConfig) -> MetaFeatures {
+    let mut v = Vec::with_capacity(40);
+    let n = dataset.n_rows();
+    let d = dataset.n_cols();
+    let nf = n.max(1) as f64;
+    let df = d.max(1) as f64;
+
+    // --- Simple: missing values (NaN cells). ---
+    let mut missing_cells = 0usize;
+    let mut cols_with_missing = vec![false; d];
+    let mut rows_with_missing = 0usize;
+    for row in dataset.x.rows_iter() {
+        let mut row_has = false;
+        for (j, &val) in row.iter().enumerate() {
+            if val.is_nan() {
+                missing_cells += 1;
+                cols_with_missing[j] = true;
+                row_has = true;
+            }
+        }
+        if row_has {
+            rows_with_missing += 1;
+        }
+    }
+    let n_cols_missing = cols_with_missing.iter().filter(|&&b| b).count();
+    v.push(missing_cells as f64);
+    v.push(missing_cells as f64 / (nf * df));
+    v.push(n_cols_missing as f64);
+    v.push(n_cols_missing as f64 / df);
+    v.push(rows_with_missing as f64);
+    v.push(rows_with_missing as f64 / nf);
+
+    // --- Simple: shape. ---
+    v.push(df);
+    v.push(df.ln());
+    v.push(dataset.n_classes as f64);
+    let ratio = df / nf;
+    v.push(ratio);
+    v.push(ratio.ln());
+    v.push(1.0 / ratio);
+    v.push((1.0 / ratio).ln());
+
+    // --- Simple: symbols (unique values per feature). ---
+    let uniques: Vec<f64> = (0..d)
+        .map(|j| {
+            let mut col = dataset.x.col(j);
+            col.retain(|x| !x.is_nan());
+            col.sort_by(f64::total_cmp);
+            col.dedup();
+            col.len() as f64
+        })
+        .collect();
+    v.push(uniques.iter().sum());
+    v.push(stats::std_dev(&uniques));
+    v.push(stats::mean(&uniques));
+    v.push(stats::max(&uniques));
+    v.push(stats::min(&uniques));
+
+    // --- Statistical: skewness and kurtosis per column. ---
+    let skews: Vec<f64> = (0..d).map(|j| stats::skewness(&dataset.x.col(j))).collect();
+    let kurts: Vec<f64> = (0..d).map(|j| stats::kurtosis(&dataset.x.col(j))).collect();
+    v.push(stats::std_dev(&skews));
+    v.push(stats::mean(&skews));
+    v.push(stats::max(&skews));
+    v.push(stats::min(&skews));
+    v.push(stats::std_dev(&kurts));
+    v.push(stats::mean(&kurts));
+    v.push(stats::max(&kurts));
+    v.push(stats::min(&kurts));
+
+    // --- Statistical: class probabilities. ---
+    let counts = dataset.class_counts();
+    let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / nf).collect();
+    v.push(stats::std_dev(&probs));
+    v.push(stats::mean(&probs));
+    v.push(stats::max(&probs));
+    v.push(stats::min(&probs));
+
+    // --- Statistical: PCA summaries on a (possibly) subsampled view. ---
+    let sub = dataset.subsample(config.max_rows, derive_seed(config.seed, 1));
+    let pca_view = if sub.n_cols() > config.max_pca_features {
+        let cols: Vec<usize> = (0..config.max_pca_features)
+            .map(|i| i * sub.n_cols() / config.max_pca_features)
+            .collect();
+        sub.x.select_cols(&cols)
+    } else {
+        sub.x.clone()
+    };
+    let pca = Pca::fit(&pca_view, pca_view.ncols().min(24));
+    let proj = pca.project_first(&pca_view);
+    v.push(stats::skewness(&proj));
+    v.push(stats::kurtosis(&proj));
+    v.push(pca.fraction_for_variance(0.95, pca_view.ncols()));
+
+    // --- Information-theoretic: class entropy. ---
+    v.push(stats::entropy_from_counts(&counts));
+
+    // --- Landmarkers: k-fold CV of six quick learners. ---
+    let lm_seed = derive_seed(config.seed, 2);
+    let folds = config.folds.max(2);
+    let knn = KnnParams { k: 1 };
+    v.push(cross_val_accuracy(&knn, &sub, folds, lm_seed));
+    let random_node = DecisionTreeParams {
+        max_depth: Some(1),
+        max_features: Some(1),
+        seed: derive_seed(config.seed, 3),
+        ..Default::default()
+    };
+    v.push(cross_val_accuracy(&random_node, &sub, folds, lm_seed));
+    let decision_node = DecisionTreeParams { max_depth: Some(1), ..Default::default() };
+    v.push(cross_val_accuracy(&decision_node, &sub, folds, lm_seed));
+    let tree = DecisionTreeParams { max_depth: Some(10), ..Default::default() };
+    v.push(cross_val_accuracy(&tree, &sub, folds, lm_seed));
+    v.push(cross_val_accuracy(&GaussianNbParams, &sub, folds, lm_seed));
+    v.push(cross_val_accuracy(&LdaParams, &sub, folds, lm_seed));
+
+    debug_assert_eq!(v.len(), NAMES.len());
+    MetaFeatures { values: v }
+}
+
+/// Build a meta-dataset: one row of meta-features per input dataset,
+/// with the caller's binary labels (the §2.2 "does FP help" labels).
+pub fn meta_dataset(
+    datasets: &[(Dataset, usize)],
+    config: &ExtractConfig,
+) -> autofp_data::Dataset {
+    assert!(!datasets.is_empty());
+    let rows: Vec<Vec<f64>> = datasets
+        .iter()
+        .map(|(d, _)| extract(d, config).as_slice().to_vec())
+        .collect();
+    let y: Vec<usize> = datasets.iter().map(|(_, label)| *label).collect();
+    let n_classes = y.iter().max().unwrap() + 1;
+    autofp_data::Dataset::new(
+        "meta",
+        autofp_linalg::Matrix::from_rows(&rows),
+        y,
+        n_classes.max(2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_data::SynthConfig;
+
+    fn toy() -> Dataset {
+        SynthConfig::new("mf", 200, 6, 3, 7).generate()
+    }
+
+    #[test]
+    fn extracts_exactly_forty() {
+        let mf = extract(&toy(), &ExtractConfig::default());
+        assert_eq!(mf.as_slice().len(), 40);
+        assert_eq!(NAMES.len(), 40);
+    }
+
+    #[test]
+    fn simple_features_match_shape() {
+        let d = toy();
+        let mf = extract(&d, &ExtractConfig::default());
+        assert_eq!(mf.get("NumberOfFeatures"), Some(6.0));
+        assert_eq!(mf.get("NumberOfClasses"), Some(3.0));
+        assert_eq!(mf.get("NumberOfMissingValues"), Some(0.0));
+        let ratio = mf.get("DatasetRatio").unwrap();
+        assert!((ratio - 6.0 / 200.0).abs() < 1e-12);
+        assert!((mf.get("InverseDatasetRatio").unwrap() - 200.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_values_are_counted() {
+        let mut d = toy();
+        d.x.set(0, 0, f64::NAN);
+        d.x.set(1, 0, f64::NAN);
+        d.x.set(0, 2, f64::NAN);
+        let mf = extract(&d, &ExtractConfig::default());
+        assert_eq!(mf.get("NumberOfMissingValues"), Some(3.0));
+        assert_eq!(mf.get("NumberOfFeaturesWithMissingValues"), Some(2.0));
+        assert_eq!(mf.get("NumberOfInstancesWithMissingValues"), Some(2.0));
+    }
+
+    #[test]
+    fn class_probabilities_sum_to_one() {
+        let mf = extract(&toy(), &ExtractConfig::default());
+        let mean = mf.get("ClassProbabilityMean").unwrap();
+        assert!((mean - 1.0 / 3.0).abs() < 1e-9);
+        assert!(mf.get("ClassProbabilityMax").unwrap() >= mean);
+        assert!(mf.get("ClassProbabilityMin").unwrap() <= mean);
+    }
+
+    #[test]
+    fn entropy_of_balanced_binary_is_ln2() {
+        let d = SynthConfig::new("mf-bal", 300, 4, 2, 5)
+            .with_personality(autofp_data::Personality {
+                imbalance: 0.0,
+                label_noise: 0.0,
+                ..Default::default()
+            })
+            .generate();
+        let mf = extract(&d, &ExtractConfig::default());
+        let h = mf.get("ClassEntropy").unwrap();
+        assert!((h - (2.0_f64).ln()).abs() < 0.02, "entropy {h}");
+    }
+
+    #[test]
+    fn landmarkers_are_valid_accuracies() {
+        let mf = extract(&toy(), &ExtractConfig::default());
+        for name in [
+            "Landmark1NN",
+            "LandmarkRandomNodeLearner",
+            "LandmarkDecisionNodeLearner",
+            "LandmarkDecisionTree",
+            "LandmarkNaiveBayes",
+            "LandmarkLDA",
+        ] {
+            let s = mf.get(name).unwrap();
+            assert!((0.0..=1.0).contains(&s), "{name} = {s}");
+        }
+        // The full decision tree should roughly match or beat the single
+        // random node on separable-ish synthetic data.
+        assert!(
+            mf.get("LandmarkDecisionTree").unwrap()
+                >= mf.get("LandmarkRandomNodeLearner").unwrap() - 0.05
+        );
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let d = toy();
+        let a = extract(&d, &ExtractConfig::default());
+        let b = extract(&d, &ExtractConfig::default());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn meta_dataset_builds() {
+        let d1 = SynthConfig::new("m1", 100, 4, 2, 1).generate();
+        let d2 = SynthConfig::new("m2", 100, 5, 2, 2).generate();
+        let meta = meta_dataset(&[(d1, 1), (d2, 0)], &ExtractConfig::default());
+        assert_eq!(meta.x.shape(), (2, 40));
+        assert_eq!(meta.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn skewed_dataset_has_higher_skew_mean() {
+        let mut p = autofp_data::Personality::default();
+        p.skew = 1.0;
+        let skewed = SynthConfig::new("mf-skew", 400, 6, 2, 9).with_personality(p).generate();
+        let mut p2 = autofp_data::Personality::default();
+        p2.skew = 0.0;
+        let normal = SynthConfig::new("mf-norm", 400, 6, 2, 9).with_personality(p2).generate();
+        let cfg = ExtractConfig::default();
+        let s1 = extract(&skewed, &cfg).get("SkewnessMean").unwrap();
+        let s2 = extract(&normal, &cfg).get("SkewnessMean").unwrap();
+        assert!(s1 > s2 + 0.5, "skewed {s1} vs normal {s2}");
+    }
+}

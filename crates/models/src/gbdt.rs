@@ -1,0 +1,476 @@
+//! Histogram-based gradient-boosted decision trees (the XGBoost stand-in).
+//!
+//! Implements the parts of XGBoost that matter for this study: softmax
+//! multiclass objective with first/second-order gradients, quantile-sketch
+//! feature binning, histogram split finding with the XGBoost gain formula
+//! (`0.5 * [G_L²/(H_L+λ) + G_R²/(H_R+λ) - G²/(H+λ)] - γ`), Newton leaf
+//! weights, shrinkage, and optional row subsampling. Because binned splits
+//! are invariant to monotone per-column transforms, this learner is far
+//! less sensitive to feature preprocessing than LR/MLP — reproducing the
+//! paper's observation that FP improves XGB in many fewer scenarios.
+
+use crate::classifier::{Classifier, Trainer};
+use autofp_linalg::dist::softmax_inplace;
+use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
+use autofp_linalg::Matrix;
+
+/// Hyperparameters for [`Gbdt`].
+#[derive(Debug, Clone)]
+pub struct GbdtParams {
+    /// Boosting rounds at full budget (`n_estimators`).
+    pub n_rounds: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Shrinkage (`eta`).
+    pub learning_rate: f64,
+    /// L2 regularization on leaf weights (`lambda`).
+    pub reg_lambda: f64,
+    /// Minimum gain to accept a split (`gamma`).
+    pub min_split_gain: f64,
+    /// Minimum hessian sum per child (`min_child_weight`).
+    pub min_child_weight: f64,
+    /// Row subsampling fraction per round.
+    pub subsample: f64,
+    /// Number of histogram bins per feature.
+    pub n_bins: usize,
+    /// Seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            n_rounds: 30,
+            max_depth: 4,
+            learning_rate: 0.3,
+            reg_lambda: 1.0,
+            min_split_gain: 0.0,
+            // XGBoost defaults to 1.0, but with softmax hessians of at
+            // most 0.25 per row that forbids any split on nodes under ~4
+            // rows; the benchmark runs on scaled-down datasets, so the
+            // default here is proportionally lower.
+            min_child_weight: 1e-3,
+            subsample: 1.0,
+            n_bins: 48,
+            seed: 0,
+        }
+    }
+}
+
+impl GbdtParams {
+    /// Set the subsampling seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TreeNode {
+    Leaf { weight: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// One regression tree of the ensemble.
+#[derive(Debug, Clone)]
+struct RegTree {
+    nodes: Vec<TreeNode>,
+}
+
+impl RegTree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { weight } => return *weight,
+                TreeNode::Split { feature, threshold, left, right } => {
+                    let v = row.get(*feature).copied().unwrap_or(0.0);
+                    i = if v.is_finite() && v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A trained gradient-boosted tree ensemble.
+pub struct Gbdt {
+    /// `trees[round][class]`.
+    trees: Vec<Vec<RegTree>>,
+    n_classes: usize,
+    learning_rate: f64,
+}
+
+impl Gbdt {
+    /// Number of completed boosting rounds.
+    pub fn n_rounds(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn scores(&self, row: &[f64]) -> Vec<f64> {
+        let mut f = vec![0.0; self.n_classes];
+        for round in &self.trees {
+            for (k, tree) in round.iter().enumerate() {
+                f[k] += self.learning_rate * tree.predict_row(row);
+            }
+        }
+        f
+    }
+}
+
+impl Classifier for Gbdt {
+    fn predict_row(&self, row: &[f64]) -> usize {
+        crate::linear::argmax(&self.scores(row))
+    }
+
+    fn predict_proba_row(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut f = self.scores(row);
+        softmax_inplace(&mut f);
+        f.resize(n_classes, 0.0);
+        f
+    }
+}
+
+impl Trainer for GbdtParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+    ) -> Box<dyn Classifier> {
+        let rounds = ((self.n_rounds as f64 * budget.clamp(0.0, 1.0)).round() as usize).max(1);
+        let (n, _d) = x.shape();
+        assert_eq!(n, y.len());
+        let k = n_classes;
+
+        let bins = Bins::fit(x, self.n_bins);
+        let binned = bins.apply(x);
+
+        let mut f = Matrix::zeros(n, k); // raw scores
+        let mut trees: Vec<Vec<RegTree>> = Vec::with_capacity(rounds);
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let mut probs = vec![0.0; k];
+
+        for round in 0..rounds {
+            // Row subsample for this round.
+            let rows: Vec<usize> = if self.subsample < 1.0 {
+                let m = ((n as f64 * self.subsample).round() as usize).max(1);
+                let mut rng = rng_from_seed(derive_seed(self.seed, round as u64));
+                let mut idx = sample_indices(&mut rng, n, m);
+                idx.sort_unstable();
+                idx
+            } else {
+                (0..n).collect()
+            };
+
+            let mut round_trees = Vec::with_capacity(k);
+            for class in 0..k {
+                // Softmax gradients for this class.
+                for &i in &rows {
+                    probs.copy_from_slice(f.row(i));
+                    softmax_inplace(&mut probs);
+                    let p = probs[class];
+                    let target = (y[i] == class) as u8 as f64;
+                    grad[i] = p - target;
+                    hess[i] = (p * (1.0 - p)).max(1e-6);
+                }
+                let tree = build_tree(
+                    &binned,
+                    &bins,
+                    &rows,
+                    &grad,
+                    &hess,
+                    self,
+                );
+                round_trees.push(tree);
+            }
+            // Update scores with all class trees of this round.
+            for i in 0..n {
+                let xrow = x.row(i);
+                for (class, tree) in round_trees.iter().enumerate() {
+                    let v = f.get(i, class) + self.learning_rate * tree.predict_row(xrow);
+                    f.set(i, class, v);
+                }
+            }
+            trees.push(round_trees);
+        }
+        Box::new(Gbdt { trees, n_classes: k, learning_rate: self.learning_rate })
+    }
+
+    fn name(&self) -> &'static str {
+        "XGB"
+    }
+}
+
+/// Quantile-sketch bin edges per feature.
+struct Bins {
+    /// `edges[j]` sorted; bin of `v` = count of edges `< v`.
+    edges: Vec<Vec<f64>>,
+}
+
+impl Bins {
+    fn fit(x: &Matrix, n_bins: usize) -> Bins {
+        let (n, d) = x.shape();
+        let max_edges = n_bins.max(2) - 1;
+        let mut edges = Vec::with_capacity(d);
+        for j in 0..d {
+            let mut col: Vec<f64> = x.col(j).into_iter().filter(|v| v.is_finite()).collect();
+            col.sort_by(f64::total_cmp);
+            col.dedup();
+            let e: Vec<f64> = if col.len() <= max_edges {
+                // Midpoints between consecutive distinct values.
+                col.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect()
+            } else {
+                let mut e: Vec<f64> = (1..=max_edges)
+                    .map(|i| {
+                        let q = i as f64 / (max_edges + 1) as f64;
+                        autofp_linalg::stats::quantile_sorted(&col, q)
+                    })
+                    .collect();
+                e.dedup();
+                e
+            };
+            edges.push(e);
+        }
+        let _ = n;
+        Bins { edges }
+    }
+
+    fn bin_of(&self, j: usize, v: f64) -> usize {
+        if !v.is_finite() {
+            return self.edges[j].len();
+        }
+        self.edges[j].partition_point(|&e| e < v)
+    }
+
+    /// Number of bins for feature `j`.
+    fn n_bins(&self, j: usize) -> usize {
+        self.edges[j].len() + 1
+    }
+
+    fn apply(&self, x: &Matrix) -> Vec<Vec<u16>> {
+        let (n, d) = x.shape();
+        let mut out = vec![vec![0u16; d]; n];
+        for (i, row) in x.rows_iter().enumerate() {
+            for j in 0..d {
+                out[i][j] = self.bin_of(j, row[j]) as u16;
+            }
+        }
+        out
+    }
+}
+
+fn build_tree(
+    binned: &[Vec<u16>],
+    bins: &Bins,
+    rows: &[usize],
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+) -> RegTree {
+    let mut nodes = Vec::new();
+    grow(binned, bins, rows, grad, hess, params, 0, &mut nodes);
+    RegTree { nodes }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    binned: &[Vec<u16>],
+    bins: &Bins,
+    rows: &[usize],
+    grad: &[f64],
+    hess: &[f64],
+    params: &GbdtParams,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let g: f64 = rows.iter().map(|&i| grad[i]).sum();
+    let h: f64 = rows.iter().map(|&i| hess[i]).sum();
+    let leaf_weight = -g / (h + params.reg_lambda);
+    if depth >= params.max_depth || rows.len() < 2 {
+        nodes.push(TreeNode::Leaf { weight: leaf_weight });
+        return nodes.len() - 1;
+    }
+
+    let d = binned.first().map_or(0, Vec::len);
+    let parent_score = g * g / (h + params.reg_lambda);
+    let mut best: Option<(f64, usize, usize)> = None; // (gain, feature, bin)
+    for j in 0..d {
+        let nb = bins.n_bins(j);
+        if nb <= 1 {
+            continue;
+        }
+        // Histogram of (G, H) per bin.
+        let mut hist_g = vec![0.0; nb];
+        let mut hist_h = vec![0.0; nb];
+        for &i in rows {
+            let b = binned[i][j] as usize;
+            hist_g[b] += grad[i];
+            hist_h[b] += hess[i];
+        }
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for b in 0..nb - 1 {
+            gl += hist_g[b];
+            hl += hist_h[b];
+            let gr = g - gl;
+            let hr = h - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = 0.5
+                * (gl * gl / (hl + params.reg_lambda) + gr * gr / (hr + params.reg_lambda)
+                    - parent_score)
+                - params.min_split_gain;
+            if gain > 1e-12 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                best = Some((gain, j, b));
+            }
+        }
+    }
+
+    match best {
+        None => {
+            nodes.push(TreeNode::Leaf { weight: leaf_weight });
+            nodes.len() - 1
+        }
+        Some((_, feature, bin)) => {
+            let threshold = bins.edges[feature][bin];
+            let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&i| (binned[i][feature] as usize) <= bin);
+            if left_rows.is_empty() || right_rows.is_empty() {
+                nodes.push(TreeNode::Leaf { weight: leaf_weight });
+                return nodes.len() - 1;
+            }
+            let id = nodes.len();
+            nodes.push(TreeNode::Leaf { weight: 0.0 });
+            let left = grow(binned, bins, &left_rows, grad, hess, params, depth + 1, nodes);
+            let right = grow(binned, bins, &right_rows, grad, hess, params, depth + 1, nodes);
+            nodes[id] = TreeNode::Split { feature, threshold, left, right };
+            id
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use autofp_data::{Personality, SynthConfig};
+
+    fn clean_personality() -> Personality {
+        Personality {
+            scale_spread: 0.0,
+            skew: 0.0,
+            heavy_tail: 0.0,
+            sparsity: 0.0,
+            class_sep: 2.5,
+            label_noise: 0.0,
+            informative_frac: 1.0,
+            imbalance: 0.0,
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_xor() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 7) % 20) as f64 / 10.0 - 1.0, ((i * 13) % 20) as f64 / 10.0 - 1.0])
+            .collect();
+        let y: Vec<usize> = rows.iter().map(|r| ((r[0] > 0.0) ^ (r[1] > 0.0)) as usize).collect();
+        let x = Matrix::from_rows(&rows);
+        let model = GbdtParams::default().fit(&x, &y, 2);
+        let acc = accuracy(&y, &model.predict(&x));
+        assert!(acc > 0.95, "acc {acc}");
+    }
+
+    #[test]
+    fn learns_multiclass() {
+        let d = SynthConfig::new("gbdt-mc", 500, 6, 3, 11)
+            .with_personality(clean_personality())
+            .generate();
+        let split = d.stratified_split(0.8, 0);
+        let model = GbdtParams::default().fit(&split.train.x, &split.train.y, 3);
+        let acc = accuracy(&split.valid.y, &model.predict(&split.valid.x));
+        assert!(acc > 0.85, "acc {acc}");
+    }
+
+    #[test]
+    fn scale_invariance_to_monotone_column_transforms() {
+        // Binned splits are invariant to monotone transforms: accuracy on
+        // exp-scaled features should match the raw features closely.
+        let d = SynthConfig::new("gbdt-scale", 400, 5, 2, 13)
+            .with_personality(clean_personality())
+            .generate();
+        let split = d.stratified_split(0.8, 0);
+        let model_raw = GbdtParams::default().fit(&split.train.x, &split.train.y, 2);
+        let acc_raw = accuracy(&split.valid.y, &model_raw.predict(&split.valid.x));
+
+        let mono = |m: &Matrix| {
+            let mut out = m.clone();
+            out.map_inplace(|v| (v.clamp(-20.0, 20.0)).exp() * 1e4);
+            out
+        };
+        let model_t = GbdtParams::default().fit(&mono(&split.train.x), &split.train.y, 2);
+        let acc_t = accuracy(&split.valid.y, &model_t.predict(&mono(&split.valid.x)));
+        assert!((acc_raw - acc_t).abs() < 0.06, "raw {acc_raw} vs transformed {acc_t}");
+    }
+
+    #[test]
+    fn budget_controls_rounds() {
+        let d = SynthConfig::new("gbdt-b", 200, 4, 2, 17)
+            .with_personality(clean_personality())
+            .generate();
+        let params = GbdtParams { n_rounds: 20, ..Default::default() };
+        let _full = params.fit_budgeted(&d.x, &d.y, 2, 1.0);
+        let small = params.fit_budgeted(&d.x, &d.y, 2, 0.1);
+        // Can't downcast through the trait object; check behaviourally by
+        // training a Gbdt directly.
+        let _ = small;
+        let direct: Box<dyn Classifier> = params.fit_budgeted(&d.x, &d.y, 2, 0.05);
+        let preds = direct.predict(&d.x);
+        assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_prior() {
+        let x = Matrix::filled(10, 3, 1.0);
+        let y = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let model = GbdtParams::default().fit(&x, &y, 2);
+        assert_eq!(model.predict_row(&[1.0, 1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn probabilities_are_calibratedish() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![1.0], vec![1.0]]);
+        let y = vec![0, 0, 1, 1];
+        let model = GbdtParams::default().fit(&x, &y, 2);
+        let p0 = model.predict_proba_row(&[0.0], 2);
+        let p1 = model.predict_proba_row(&[1.0], 2);
+        assert!(p0[0] > 0.7, "{p0:?}");
+        assert!(p1[1] > 0.7, "{p1:?}");
+        assert!((p0.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binning_handles_few_distinct_values() {
+        let x = Matrix::column_vector(&[0.0, 0.0, 1.0, 1.0, 2.0, 2.0]);
+        let bins = Bins::fit(&x, 48);
+        assert_eq!(bins.n_bins(0), 3);
+        assert_eq!(bins.bin_of(0, 0.0), 0);
+        assert_eq!(bins.bin_of(0, 1.0), 1);
+        assert_eq!(bins.bin_of(0, 2.0), 2);
+        assert_eq!(bins.bin_of(0, -5.0), 0);
+        assert_eq!(bins.bin_of(0, 5.0), 2);
+    }
+
+    #[test]
+    fn subsample_training_is_deterministic() {
+        let d = SynthConfig::new("gbdt-ss", 300, 5, 2, 23)
+            .with_personality(clean_personality())
+            .generate();
+        let params = GbdtParams { subsample: 0.5, seed: 4, n_rounds: 5, ..Default::default() };
+        let a = params.fit(&d.x, &d.y, 2).predict(&d.x);
+        let b = params.fit(&d.x, &d.y, 2).predict(&d.x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+//! Downstream classifiers for Auto-FP.
+//!
+//! The paper evaluates pipelines with three downstream models chosen from
+//! the Kaggle survey: Logistic Regression (top linear model), XGBoost
+//! (top tree ensemble), and an MLP (§5.1). This crate implements all
+//! three from scratch — [`linear::LogisticRegression`], [`gbdt::Gbdt`]
+//! (a histogram-based second-order gradient-boosting machine standing in
+//! for XGBoost), and [`mlp::MlpClassifier`] — plus the auxiliary
+//! learners the meta-feature landmarkers need ([`tree::DecisionTree`],
+//! [`simple`]: Gaussian naive Bayes, diagonal LDA, k-NN), shared
+//! [`metrics`], and stratified [`cv`].
+//!
+//! Every trainer implements [`Trainer`] and supports *budgeted* fitting
+//! (a fraction of its iterations), which is what the bandit-based search
+//! algorithms (Hyperband, BOHB) allocate.
+
+pub mod classifier;
+pub mod cv;
+pub mod gbdt;
+pub mod linear;
+pub mod metrics;
+pub mod mlp;
+pub mod simple;
+pub mod tree;
+
+pub use classifier::{Classifier, ModelKind, Trainer};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use linear::{LogisticRegression, LogisticParams};
+pub use metrics::{accuracy, auc_binary, error_rate};
+pub use mlp::{MlpClassifier, MlpParams};
+pub use tree::{DecisionTree, DecisionTreeParams};

@@ -1,0 +1,305 @@
+//! Auxiliary learners for the landmarking meta-features (Table 10):
+//! Gaussian naive Bayes, (diagonal) linear discriminant analysis, and
+//! k-nearest neighbours.
+//!
+//! These are never downstream models in the benchmark; they exist because
+//! Auto-Sklearn's meta-features run quick "landmark" learners to
+//! characterize a dataset (Landmark1NN, LandmarkNaiveBayes, LandmarkLDA,
+//! decision-tree variants).
+
+use crate::classifier::{Classifier, Trainer};
+use autofp_linalg::Matrix;
+
+/// Gaussian naive Bayes with per-class, per-feature mean/variance.
+pub struct GaussianNbParams;
+
+struct GaussianNb {
+    /// Per class: (log prior, means, variances).
+    classes: Vec<(f64, Vec<f64>, Vec<f64>)>,
+}
+
+impl Trainer for GaussianNbParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        _budget: f64,
+    ) -> Box<dyn Classifier> {
+        let (n, d) = x.shape();
+        let mut sums = vec![vec![0.0; d]; n_classes];
+        let mut sq = vec![vec![0.0; d]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (i, row) in x.rows_iter().enumerate() {
+            let c = y[i];
+            counts[c] += 1;
+            for j in 0..d {
+                let v = clean(row[j]);
+                sums[c][j] += v;
+                sq[c][j] += v * v;
+            }
+        }
+        // Variance smoothing as in sklearn: eps = 1e-9 * max feature var.
+        let mut max_var: f64 = 0.0;
+        for j in 0..d {
+            max_var = max_var.max(autofp_linalg::stats::variance(&x.col(j)));
+        }
+        let eps = 1e-9 * max_var.max(1.0);
+        let classes = (0..n_classes)
+            .map(|c| {
+                let cnt = counts[c].max(1) as f64;
+                let means: Vec<f64> = sums[c].iter().map(|s| s / cnt).collect();
+                let vars: Vec<f64> = sq[c]
+                    .iter()
+                    .zip(&means)
+                    .map(|(s, m)| (s / cnt - m * m).max(eps))
+                    .collect();
+                let prior = (counts[c].max(1) as f64 / n.max(1) as f64).ln();
+                (prior, means, vars)
+            })
+            .collect();
+        Box::new(GaussianNb { classes })
+    }
+
+    fn name(&self) -> &'static str {
+        "GNB"
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn predict_row(&self, row: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_ll = f64::NEG_INFINITY;
+        for (c, (prior, means, vars)) in self.classes.iter().enumerate() {
+            let mut ll = *prior;
+            for (j, &v) in row.iter().enumerate().take(means.len()) {
+                let v = clean(v);
+                let diff = v - means[j];
+                ll += -0.5 * (vars[j].ln() + diff * diff / vars[j]);
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// Diagonal linear discriminant analysis: class means with a shared
+/// per-feature (pooled) variance — the standard high-dimensional LDA
+/// simplification, adequate for a landmark score.
+pub struct LdaParams;
+
+struct DiagonalLda {
+    means: Vec<Vec<f64>>,
+    inv_var: Vec<f64>,
+    log_priors: Vec<f64>,
+}
+
+impl Trainer for LdaParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        _budget: f64,
+    ) -> Box<dyn Classifier> {
+        let (n, d) = x.shape();
+        let mut sums = vec![vec![0.0; d]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (i, row) in x.rows_iter().enumerate() {
+            counts[y[i]] += 1;
+            for j in 0..d {
+                sums[y[i]][j] += clean(row[j]);
+            }
+        }
+        let means: Vec<Vec<f64>> = (0..n_classes)
+            .map(|c| sums[c].iter().map(|s| s / counts[c].max(1) as f64).collect())
+            .collect();
+        // Pooled within-class variance per feature, ridge-smoothed.
+        let mut pooled = vec![0.0; d];
+        for (i, row) in x.rows_iter().enumerate() {
+            let m = &means[y[i]];
+            for j in 0..d {
+                let diff = clean(row[j]) - m[j];
+                pooled[j] += diff * diff;
+            }
+        }
+        let denom = (n.saturating_sub(n_classes)).max(1) as f64;
+        let inv_var: Vec<f64> = pooled.iter().map(|p| 1.0 / (p / denom + 1e-9)).collect();
+        let log_priors = counts
+            .iter()
+            .map(|&c| (c.max(1) as f64 / n.max(1) as f64).ln())
+            .collect();
+        Box::new(DiagonalLda { means, inv_var, log_priors })
+    }
+
+    fn name(&self) -> &'static str {
+        "LDA"
+    }
+}
+
+impl Classifier for DiagonalLda {
+    fn predict_row(&self, row: &[f64]) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (c, m) in self.means.iter().enumerate() {
+            // Discriminant: x' Σ⁻¹ μ - ½ μ' Σ⁻¹ μ + log π (diagonal Σ).
+            let mut score = self.log_priors[c];
+            for (j, &mu) in m.iter().enumerate() {
+                let v = clean(row.get(j).copied().unwrap_or(0.0));
+                score += self.inv_var[j] * mu * (v - 0.5 * mu);
+            }
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+/// k-nearest-neighbour classifier (Euclidean); `k = 1` is the paper's
+/// `Landmark1NN` learner.
+pub struct KnnParams {
+    /// Number of neighbours considered.
+    pub k: usize,
+}
+
+struct Knn {
+    x: Matrix,
+    y: Vec<usize>,
+    n_classes: usize,
+    k: usize,
+}
+
+impl Trainer for KnnParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        _budget: f64,
+    ) -> Box<dyn Classifier> {
+        Box::new(Knn { x: x.clone(), y: y.to_vec(), n_classes, k: self.k.max(1) })
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+impl Classifier for Knn {
+    fn predict_row(&self, row: &[f64]) -> usize {
+        // Track the k smallest distances with a simple insertion buffer.
+        let mut best: Vec<(f64, usize)> = Vec::with_capacity(self.k + 1);
+        for (i, r) in self.x.rows_iter().enumerate() {
+            let mut dist = 0.0;
+            for (a, b) in r.iter().zip(row) {
+                let diff = clean(*a) - clean(*b);
+                dist += diff * diff;
+            }
+            if best.len() < self.k || dist < best.last().unwrap().0 {
+                let pos = best.partition_point(|(d2, _)| *d2 <= dist);
+                best.insert(pos, (dist, self.y[i]));
+                best.truncate(self.k);
+            }
+        }
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, c) in &best {
+            votes[c] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[inline]
+fn clean(v: f64) -> f64 {
+    if v.is_finite() {
+        v.clamp(-1e12, 1e12)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use autofp_data::SynthConfig;
+
+    fn easy() -> autofp_data::Dataset {
+        SynthConfig::new("simple", 300, 6, 3, 19)
+            .with_personality(autofp_data::Personality {
+                scale_spread: 0.0,
+                skew: 0.0,
+                heavy_tail: 0.0,
+                sparsity: 0.0,
+                class_sep: 3.0,
+                label_noise: 0.0,
+                informative_frac: 1.0,
+                imbalance: 0.0,
+            })
+            .generate()
+    }
+
+    #[test]
+    fn gnb_learns_gaussian_blobs() {
+        let d = easy();
+        let model = GaussianNbParams.fit(&d.x, &d.y, 3);
+        let acc = accuracy(&d.y, &model.predict(&d.x));
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn lda_learns_gaussian_blobs() {
+        let d = easy();
+        let model = LdaParams.fit(&d.x, &d.y, 3);
+        let acc = accuracy(&d.y, &model.predict(&d.x));
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_data() {
+        let d = easy();
+        let model = KnnParams { k: 1 }.fit(&d.x, &d.y, 3);
+        let acc = accuracy(&d.y, &model.predict(&d.x));
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn knn_votes_with_k3() {
+        let x = Matrix::from_rows(&[
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![10.0],
+            vec![10.1],
+            vec![10.2],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let model = KnnParams { k: 3 }.fit(&x, &y, 2);
+        assert_eq!(model.predict_row(&[0.05]), 0);
+        assert_eq!(model.predict_row(&[9.9]), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let x = Matrix::from_rows(&[vec![f64::NAN, 1.0], vec![1.0, f64::INFINITY]]);
+        let y = vec![0, 1];
+        for trainer in [
+            Box::new(GaussianNbParams) as Box<dyn Trainer>,
+            Box::new(LdaParams),
+            Box::new(KnnParams { k: 1 }),
+        ] {
+            let m = trainer.fit(&x, &y, 2);
+            assert!(m.predict_row(&[f64::NAN, 0.0]) < 2);
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! CART-style decision tree classifier (Gini impurity, exact splits).
+//!
+//! Used three ways in the reproduction: as the rule learner of the §2.2
+//! data-characteristics experiment (Table 1), as the landmarking
+//! meta-features' base learner, and (depth-limited, feature-subsampled)
+//! as a building block for ensemble baselines.
+
+use crate::classifier::{Classifier, Trainer};
+use autofp_linalg::rng::{rng_from_seed, sample_indices};
+use autofp_linalg::Matrix;
+
+/// Hyperparameters for [`DecisionTree`].
+#[derive(Debug, Clone)]
+pub struct DecisionTreeParams {
+    /// Maximum tree depth (`None` = grow until pure, sklearn "No Limit").
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, consider only this many randomly chosen features per node.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams { max_depth: None, min_samples_split: 2, max_features: None, seed: 0 }
+    }
+}
+
+impl DecisionTreeParams {
+    /// Default parameters with the given depth limit.
+    pub fn with_depth(depth: Option<usize>) -> Self {
+        DecisionTreeParams { max_depth: depth, ..Default::default() }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { probs: Vec<f64> },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A trained decision tree.
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Number of nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (root = 0).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+
+    fn leaf_probs(&self, row: &[f64]) -> &[f64] {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { probs } => return probs,
+                Node::Split { feature, threshold, left, right } => {
+                    let v = row.get(*feature).copied().unwrap_or(0.0);
+                    i = if v.is_finite() && v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn predict_row(&self, row: &[f64]) -> usize {
+        crate::linear::argmax(self.leaf_probs(row))
+    }
+
+    fn predict_proba_row(&self, row: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut p = self.leaf_probs(row).to_vec();
+        p.resize(n_classes.max(self.n_classes), 0.0);
+        p.truncate(n_classes);
+        p
+    }
+}
+
+impl Trainer for DecisionTreeParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        _budget: f64,
+    ) -> Box<dyn Classifier> {
+        let mut builder = Builder {
+            x,
+            y,
+            n_classes,
+            params: self.clone(),
+            nodes: Vec::new(),
+            rng_state: self.seed,
+        };
+        let indices: Vec<usize> = (0..x.nrows()).collect();
+        builder.build(&indices, 0);
+        Box::new(DecisionTree { nodes: builder.nodes, n_classes })
+    }
+
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [usize],
+    n_classes: usize,
+    params: DecisionTreeParams,
+    nodes: Vec<Node>,
+    rng_state: u64,
+}
+
+impl Builder<'_> {
+    /// Build the subtree over `indices`; returns its node id.
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let counts = self.class_counts(indices);
+        let n = indices.len();
+        let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
+        let depth_stop = self.params.max_depth.is_some_and(|d| depth >= d);
+        if pure || depth_stop || n < self.params.min_samples_split {
+            return self.push_leaf(&counts, n);
+        }
+        match self.best_split(indices, &counts) {
+            None => self.push_leaf(&counts, n),
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.x.get(i, feature) <= threshold);
+                if left_idx.is_empty() || right_idx.is_empty() {
+                    return self.push_leaf(&counts, n);
+                }
+                // Reserve our slot before children so the root is node 0.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { probs: vec![] });
+                let left = self.build(&left_idx, depth + 1);
+                let right = self.build(&right_idx, depth + 1);
+                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, counts: &[usize], n: usize) -> usize {
+        let probs: Vec<f64> = if n == 0 {
+            vec![1.0 / self.n_classes as f64; self.n_classes]
+        } else {
+            counts.iter().map(|&c| c as f64 / n as f64).collect()
+        };
+        self.nodes.push(Node::Leaf { probs });
+        self.nodes.len() - 1
+    }
+
+    fn class_counts(&self, indices: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in indices {
+            counts[self.y[i]] += 1;
+        }
+        counts
+    }
+
+    /// Best (feature, threshold) by Gini gain, or `None` if nothing splits.
+    fn best_split(&mut self, indices: &[usize], counts: &[usize]) -> Option<(usize, f64)> {
+        let n = indices.len() as f64;
+        let parent_gini = gini(counts, indices.len());
+        let d = self.x.ncols();
+        let features: Vec<usize> = match self.params.max_features {
+            Some(k) if k < d => {
+                self.rng_state = self.rng_state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut rng = rng_from_seed(self.rng_state);
+                sample_indices(&mut rng, d, k)
+            }
+            _ => (0..d).collect(),
+        };
+
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        let mut sorted = indices.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut n_left = 0usize;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                left_counts[self.y[i]] += 1;
+                n_left += 1;
+                let v = self.x.get(i, f);
+                let v_next = self.x.get(sorted[w + 1], f);
+                if v == v_next || !v.is_finite() || !v_next.is_finite() {
+                    continue;
+                }
+                let n_right = sorted.len() - n_left;
+                let right_counts: Vec<usize> =
+                    counts.iter().zip(&left_counts).map(|(&t, &l)| t - l).collect();
+                let child = (n_left as f64 / n) * gini(&left_counts, n_left)
+                    + (n_right as f64 / n) * gini(&right_counts, n_right);
+                let gain = parent_gini - child;
+                // Zero-gain splits are admitted (as in sklearn): on
+                // XOR-like data the first split has zero Gini gain but
+                // enables perfect children. Recursion still terminates
+                // because both children are strictly smaller.
+                if gain > -1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, f, (v + v_next) / 2.0));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / nf).powi(2)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn fits_xor_perfectly_without_depth_limit() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = vec![0, 1, 1, 0];
+        let tree = DecisionTreeParams::default().fit(&x, &y, 2);
+        assert_eq!(tree.predict(&x), y);
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let rows: Vec<Vec<f64>> = (0..128).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..128).map(|i| ((i / 2) % 2) as usize).collect();
+        let x = Matrix::from_rows(&rows);
+        let params = DecisionTreeParams::with_depth(Some(2));
+        let boxed = params.fit(&x, &y, 2);
+        // Downcast is awkward through the trait; rebuild directly.
+        let mut builder_check = params.clone();
+        builder_check.max_depth = Some(2);
+        let tree2 = {
+            let t = builder_check.fit(&x, &y, 2);
+            t
+        };
+        // Depth-2 tree has at most 4 leaves -> cannot exceed 7 nodes; it
+        // also cannot memorize the period-4 pattern perfectly.
+        let acc = accuracy(&y, &tree2.predict(&x));
+        assert!(acc < 1.0);
+        let _ = boxed;
+    }
+
+    #[test]
+    fn stump_splits_on_informative_feature() {
+        // Feature 1 is informative, feature 0 is constant.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.1],
+            vec![1.0, 0.2],
+            vec![1.0, 0.9],
+            vec![1.0, 0.8],
+        ]);
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTreeParams::with_depth(Some(1)).fit(&x, &y, 2);
+        assert_eq!(tree.predict(&x), y);
+        // Unseen extreme values follow the split direction.
+        assert_eq!(tree.predict_row(&[1.0, -5.0]), 0);
+        assert_eq!(tree.predict_row(&[1.0, 5.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_yield_single_leaf_majority() {
+        let x = Matrix::filled(6, 3, 2.0);
+        let y = vec![1, 1, 1, 1, 0, 0];
+        let tree = DecisionTreeParams::default().fit(&x, &y, 2);
+        assert_eq!(tree.predict_row(&[2.0, 2.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_distribution() {
+        let x = Matrix::filled(4, 1, 0.0);
+        let y = vec![0, 0, 0, 1];
+        let tree = DecisionTreeParams::default().fit(&x, &y, 2);
+        let p = tree.predict_proba_row(&[0.0], 2);
+        assert!((p[0] - 0.75).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_features_subsampling_is_deterministic() {
+        let rows: Vec<Vec<f64>> =
+            (0..60).map(|i| vec![(i % 7) as f64, (i % 5) as f64, (i % 3) as f64]).collect();
+        let y: Vec<usize> = (0..60).map(|i| (i % 2) as usize).collect();
+        let x = Matrix::from_rows(&rows);
+        let mut params = DecisionTreeParams::default();
+        params.max_features = Some(1);
+        params.seed = 9;
+        let a = params.fit(&x, &y, 2).predict(&x);
+        let b = params.fit(&x, &y, 2).predict(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_nan_features_at_predict_time() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let y = vec![0, 1];
+        let tree = DecisionTreeParams::default().fit(&x, &y, 2);
+        // NaN routes right; must not panic.
+        let p = tree.predict_row(&[f64::NAN]);
+        assert!(p < 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Exhaustive enumeration of the default pipeline space.
+//!
+//! The paper's motivating experiment (§2.2, Figure 2) enumerates every
+//! pipeline of length at most 4 over the 7 default preprocessors —
+//! `7 + 7² + 7³ + 7⁴ = 2800` pipelines. This module generates that
+//! enumeration deterministically, in lexicographic order.
+
+use crate::kinds::PreprocKind;
+use crate::pipeline::Pipeline;
+
+/// Number of pipelines of exactly length `len` over `k` symbols.
+pub fn count_of_length(k: usize, len: usize) -> usize {
+    k.pow(len as u32)
+}
+
+/// Total pipelines of length `1..=max_len` over `k` symbols.
+pub fn total_count(k: usize, max_len: usize) -> usize {
+    (1..=max_len).map(|l| count_of_length(k, l)).sum()
+}
+
+/// Enumerate all default-parameter pipelines of length `1..=max_len`,
+/// shortest first, lexicographic within a length.
+pub fn enumerate_pipelines(max_len: usize) -> Vec<Pipeline> {
+    let k = PreprocKind::ALL.len();
+    let mut out = Vec::with_capacity(total_count(k, max_len));
+    for len in 1..=max_len {
+        let mut digits = vec![0usize; len];
+        loop {
+            let kinds: Vec<PreprocKind> =
+                digits.iter().map(|&d| PreprocKind::from_index(d)).collect();
+            out.push(Pipeline::from_kinds(&kinds));
+            // Increment base-k counter.
+            let mut i = len;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                digits[i] += 1;
+                if digits[i] < k {
+                    break;
+                }
+                digits[i] = 0;
+                if i == 0 {
+                    break;
+                }
+            }
+            if digits.iter().all(|&d| d == 0) {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_paper() {
+        // §2.2: pipelines of length <= 4 over 7 preprocessors = 2800.
+        assert_eq!(total_count(7, 4), 2800);
+        assert_eq!(total_count(7, 7), 960_799); // "about 1 million" (§7.3)
+        assert_eq!(count_of_length(7, 2), 49);
+    }
+
+    #[test]
+    fn enumeration_is_complete_and_unique() {
+        let all = enumerate_pipelines(3);
+        assert_eq!(all.len(), 7 + 49 + 343);
+        let mut keys: Vec<String> = all.iter().map(Pipeline::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), all.len());
+    }
+
+    #[test]
+    fn order_is_shortest_first_lexicographic() {
+        let all = enumerate_pipelines(2);
+        assert_eq!(all[0].kinds(), vec![PreprocKind::Binarizer]);
+        assert_eq!(all[6].kinds(), vec![PreprocKind::StandardScaler]);
+        assert_eq!(all[7].kinds(), vec![PreprocKind::Binarizer, PreprocKind::Binarizer]);
+        assert_eq!(
+            all.last().unwrap().kinds(),
+            vec![PreprocKind::StandardScaler, PreprocKind::StandardScaler]
+        );
+    }
+
+    #[test]
+    fn lengths_within_bounds() {
+        for p in enumerate_pipelines(4) {
+            assert!(p.len() >= 1 && p.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Bandit-based algorithms (§4.1.5): Hyperband and BOHB.
+//!
+//! The resource a rung allocates is the downstream trainer's iteration
+//! budget (boosting rounds / epochs), expressed in `1..=max_units`
+//! units; a pipeline evaluated at `r` units trains with fraction
+//! `r / max_units`. The `eta` and `min_budget` knobs reproduce the
+//! paper's Figure 6 parameter sweep.
+
+use crate::mutation::Alphabet;
+use autofp_core::{SearchContext, Searcher};
+use autofp_linalg::rng::rng_from_seed;
+use autofp_preprocess::{ParamSpace, Pipeline};
+use autofp_surrogate::tpe::CategoricalTpe;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shared successive-halving driver for Hyperband and BOHB.
+struct HalvingDriver {
+    eta: f64,
+    min_units: usize,
+    max_units: usize,
+}
+
+impl HalvingDriver {
+    /// `s_max = floor(log_eta(R))` with `R = max_units / min_units`.
+    fn s_max(&self) -> usize {
+        let r = self.max_units as f64 / self.min_units as f64;
+        (r.ln() / self.eta.ln()).floor().max(0.0) as usize
+    }
+
+    /// Initial configs `n` and initial per-config units `r` for bracket `s`.
+    fn bracket_params(&self, s: usize) -> (usize, f64) {
+        let s_max = self.s_max();
+        let r = self.max_units as f64 / self.min_units as f64;
+        let n = (((s_max + 1) as f64 / (s + 1) as f64) * self.eta.powi(s as i32)).ceil() as usize;
+        let r0 = r * self.eta.powi(-(s as i32));
+        (n.max(1), r0 * self.min_units as f64)
+    }
+
+    /// Fraction of the trainer's full budget for a rung at `units`.
+    fn fraction(&self, units: f64) -> f64 {
+        (units / self.max_units as f64).clamp(0.01, 1.0)
+    }
+}
+
+/// Hyperband (Li et al. 2017).
+pub struct Hyperband {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    driver: HalvingDriver,
+}
+
+impl Hyperband {
+    /// Hyperband with the paper's defaults (eta 3, budgets 1..30).
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> Hyperband {
+        Hyperband::with_params(space, max_len, seed, 3.0, 1, 30)
+    }
+
+    /// Full control over `eta`, `min_budget` and `max_budget` (units),
+    /// matching the paper's Figure 6 sweep.
+    pub fn with_params(
+        space: ParamSpace,
+        max_len: usize,
+        seed: u64,
+        eta: f64,
+        min_units: usize,
+        max_units: usize,
+    ) -> Hyperband {
+        Hyperband {
+            space,
+            max_len,
+            rng: rng_from_seed(seed),
+            driver: HalvingDriver { eta, min_units: min_units.max(1), max_units: max_units.max(1) },
+        }
+    }
+}
+
+impl Searcher for Hyperband {
+    fn name(&self) -> &'static str {
+        "HYPERBAND"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        loop {
+            for s in (0..=self.driver.s_max()).rev() {
+                let (n, r0) = self.driver.bracket_params(s);
+                let configs: Vec<Pipeline> = (0..n)
+                    .map(|_| self.space.sample_pipeline(&mut self.rng, self.max_len))
+                    .collect();
+                if run_bracket(ctx, &self.driver, s, r0, configs, &mut |_, _, _| {}).is_none() {
+                    return;
+                }
+            }
+            if ctx.exhausted() {
+                return;
+            }
+        }
+    }
+}
+
+/// Run one successive-halving bracket. Returns `None` if the budget ran
+/// out mid-bracket. `observe` receives `(pipeline, fraction, error)` for
+/// every completed rung evaluation (BOHB feeds its TPE model with it).
+fn run_bracket(
+    ctx: &mut SearchContext,
+    driver: &HalvingDriver,
+    s: usize,
+    r0: f64,
+    mut configs: Vec<Pipeline>,
+    observe: &mut dyn FnMut(&Pipeline, f64, f64),
+) -> Option<()> {
+    for i in 0..=s {
+        let units = r0 * driver.eta.powi(i as i32);
+        let frac = driver.fraction(units);
+        let mut scored: Vec<(f64, Pipeline)> = Vec::with_capacity(configs.len());
+        for p in configs.drain(..) {
+            let trial = ctx.evaluate_budgeted(&p, frac)?;
+            observe(&p, frac, trial.error);
+            scored.push((trial.accuracy, p));
+        }
+        // Keep the top 1/eta for the next rung.
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN accuracy"));
+        let keep = ((scored.len() as f64 / driver.eta).floor() as usize).max(1);
+        if i < s {
+            configs = scored.into_iter().take(keep).map(|(_, p)| p).collect();
+        }
+    }
+    Some(())
+}
+
+/// BOHB (Falkner et al. 2018): Hyperband's bracket structure, with new
+/// configurations proposed by a TPE model fit on the observations at the
+/// highest budget level that has enough of them; a fixed fraction stays
+/// random for exploration.
+pub struct Bohb {
+    space: ParamSpace,
+    alphabet: Alphabet,
+    max_len: usize,
+    rng: StdRng,
+    driver: HalvingDriver,
+    /// Fraction of configs sampled uniformly at random (BOHB's ρ).
+    pub random_fraction: f64,
+    /// Minimum observations at a budget level before TPE engages.
+    pub min_points: usize,
+}
+
+impl Bohb {
+    /// BOHB with the paper's defaults (eta 3, budgets 1..30).
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> Bohb {
+        Bohb::with_params(space, max_len, seed, 3.0, 1, 30)
+    }
+
+    /// Full control over `eta`, `min_budget`, `max_budget` (Figure 6).
+    pub fn with_params(
+        space: ParamSpace,
+        max_len: usize,
+        seed: u64,
+        eta: f64,
+        min_units: usize,
+        max_units: usize,
+    ) -> Bohb {
+        let alphabet = Alphabet::new(&space);
+        Bohb {
+            space,
+            alphabet,
+            max_len,
+            rng: rng_from_seed(seed),
+            driver: HalvingDriver { eta, min_units: min_units.max(1), max_units: max_units.max(1) },
+            random_fraction: 1.0 / 3.0,
+            min_points: 6,
+        }
+    }
+
+    /// Propose one configuration: random with probability ρ, otherwise
+    /// from the TPE model over the best-budget observations.
+    fn propose(
+        &mut self,
+        observations: &[(f64, Vec<usize>, f64)], // (fraction, tokens, error)
+    ) -> Pipeline {
+        if self.rng.gen::<f64>() >= self.random_fraction {
+            // Highest budget level with enough observations.
+            let mut fractions: Vec<f64> = observations.iter().map(|(f, _, _)| *f).collect();
+            fractions.sort_by(f64::total_cmp);
+            fractions.dedup();
+            for &frac in fractions.iter().rev() {
+                let level: Vec<(Vec<usize>, f64)> = observations
+                    .iter()
+                    .filter(|(f, _, _)| (*f - frac).abs() < 1e-9)
+                    .map(|(_, t, e)| (t.clone(), *e))
+                    .collect();
+                if level.len() >= self.min_points {
+                    let tpe = CategoricalTpe::new(self.alphabet.len(), self.max_len);
+                    let model = tpe.fit(&level);
+                    let tokens = model.suggest(&mut self.rng, 24);
+                    return self.alphabet.decode(&tokens);
+                }
+            }
+        }
+        self.space.sample_pipeline(&mut self.rng, self.max_len)
+    }
+}
+
+impl Searcher for Bohb {
+    fn name(&self) -> &'static str {
+        "BOHB"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let mut observations: Vec<(f64, Vec<usize>, f64)> = Vec::new();
+        loop {
+            for s in (0..=self.driver.s_max()).rev() {
+                let (n, r0) = self.driver.bracket_params(s);
+                let configs: Vec<Pipeline> =
+                    (0..n).map(|_| self.propose(&observations)).collect();
+                let alphabet = &self.alphabet;
+                let mut new_obs: Vec<(f64, Vec<usize>, f64)> = Vec::new();
+                let done = run_bracket(
+                    ctx,
+                    &self.driver,
+                    s,
+                    r0,
+                    configs,
+                    &mut |p, frac, err| {
+                        if let Some(tokens) = alphabet.encode(p) {
+                            new_obs.push((frac, tokens, err));
+                        }
+                    },
+                );
+                observations.append(&mut new_obs);
+                if done.is_none() {
+                    return;
+                }
+            }
+            if ctx.exhausted() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+    use autofp_models::classifier::ModelKind;
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("bandit-test", 150, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig { model: ModelKind::Xgb, ..Default::default() })
+    }
+
+    #[test]
+    fn bracket_schedule_matches_hyperband_paper() {
+        let driver = HalvingDriver { eta: 3.0, min_units: 1, max_units: 27 };
+        assert_eq!(driver.s_max(), 3);
+        let (n, r) = driver.bracket_params(3);
+        assert_eq!(n, 27);
+        assert!((r - 1.0).abs() < 1e-9);
+        let (n0, r0) = driver.bracket_params(0);
+        assert_eq!(n0, 4);
+        assert!((r0 - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperband_uses_partial_budgets() {
+        let ev = evaluator();
+        let mut hb = Hyperband::new(ParamSpace::default_space(), 4, 3);
+        let out = run_search(&mut hb, &ev, Budget::evals(30));
+        assert!(out.history.len() <= 30);
+        let partial = out.history.trials().iter().filter(|t| t.train_fraction < 1.0).count();
+        assert!(partial > 0, "no partial-budget rungs observed");
+    }
+
+    #[test]
+    fn hyperband_param_sweep_configs_run() {
+        let ev = evaluator();
+        for (eta, minb) in [(3.0, 1), (5.0, 1), (3.0, 8), (3.0, 30)] {
+            let mut hb =
+                Hyperband::with_params(ParamSpace::default_space(), 4, 3, eta, minb, 30);
+            let out = run_search(&mut hb, &ev, Budget::evals(12));
+            assert!(!out.history.is_empty(), "eta {eta} min {minb}");
+        }
+    }
+
+    #[test]
+    fn bohb_runs_and_observes() {
+        let ev = evaluator();
+        let mut bohb = Bohb::new(ParamSpace::default_space(), 4, 5);
+        let out = run_search(&mut bohb, &ev, Budget::evals(40));
+        assert!(!out.history.is_empty());
+        assert_eq!(out.algorithm, "BOHB");
+    }
+
+    #[test]
+    fn best_reported_is_fully_trained_when_available() {
+        let ev = evaluator();
+        let mut hb = Hyperband::new(ParamSpace::default_space(), 4, 7);
+        let out = run_search(&mut hb, &ev, Budget::evals(50));
+        if let Some(best) = out.best() {
+            let has_full =
+                out.history.trials().iter().any(|t| t.train_fraction >= 1.0 - 1e-9);
+            if has_full {
+                assert!(best.train_fraction >= 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let ev = evaluator();
+        let run = || {
+            let mut hb = Hyperband::new(ParamSpace::default_space(), 4, 9);
+            run_search(&mut hb, &ev, Budget::evals(20)).best_accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+}

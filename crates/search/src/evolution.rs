@@ -1,0 +1,329 @@
+//! Evolution-based algorithms (§4.1.3): PBT and Tournament Evolution
+//! (TEVO_H / TEVO_Y) — the paper's top-ranked category.
+
+use crate::mutation::mutate;
+use autofp_core::{SearchContext, Searcher};
+use autofp_linalg::rng::rng_from_seed;
+use autofp_preprocess::{ParamSpace, Pipeline};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Which member a tournament-evolution step removes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillStrategy {
+    /// Kill the lowest-accuracy member ("TEVO_H": keep the higher).
+    Worst,
+    /// Kill the oldest member ("TEVO_Y": keep the younger — regularized
+    /// evolution's aging rule).
+    Oldest,
+}
+
+/// Tournament evolution (regularized evolution adapted to pipelines).
+pub struct TournamentEvolution {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    strategy: KillStrategy,
+    /// Population size.
+    pub population_size: usize,
+    /// Tournament sample size `S`.
+    pub tournament_size: usize,
+}
+
+impl TournamentEvolution {
+    /// Construct with the given kill strategy.
+    pub fn new(
+        space: ParamSpace,
+        max_len: usize,
+        strategy: KillStrategy,
+        seed: u64,
+    ) -> TournamentEvolution {
+        TournamentEvolution {
+            space,
+            max_len,
+            rng: rng_from_seed(seed),
+            strategy,
+            population_size: 12,
+            tournament_size: 4,
+        }
+    }
+}
+
+/// One population member: pipeline, accuracy, birth order.
+#[derive(Debug, Clone)]
+struct Member {
+    pipeline: Pipeline,
+    accuracy: f64,
+    birth: u64,
+}
+
+impl Searcher for TournamentEvolution {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            KillStrategy::Worst => "TEVO_H",
+            KillStrategy::Oldest => "TEVO_Y",
+        }
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let mut population: Vec<Member> = Vec::with_capacity(self.population_size);
+        let mut birth: u64 = 0;
+
+        // Step 1: random initial population.
+        while population.len() < self.population_size {
+            let p = self.space.sample_pipeline(&mut self.rng, self.max_len);
+            let Some(t) = ctx.evaluate(&p) else { return };
+            population.push(Member { pipeline: p, accuracy: t.accuracy, birth });
+            birth += 1;
+        }
+
+        loop {
+            if ctx.exhausted() {
+                return;
+            }
+            // Tournament: sample S members, mutate the best.
+            let mut best_idx = 0;
+            let mut best_acc = f64::NEG_INFINITY;
+            for _ in 0..self.tournament_size {
+                let i = self.rng.gen_range(0..population.len());
+                if population[i].accuracy > best_acc {
+                    best_acc = population[i].accuracy;
+                    best_idx = i;
+                }
+            }
+            let child = mutate(&population[best_idx].pipeline, &self.space, self.max_len, &mut self.rng);
+            let Some(t) = ctx.evaluate(&child) else { return };
+
+            // Kill per strategy, then add the child.
+            let victim = match self.strategy {
+                KillStrategy::Worst => population
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).expect("NaN"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty population"),
+                KillStrategy::Oldest => population
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, m)| m.birth)
+                    .map(|(i, _)| i)
+                    .expect("non-empty population"),
+            };
+            population.swap_remove(victim);
+            population.push(Member { pipeline: child, accuracy: t.accuracy, birth });
+            birth += 1;
+        }
+    }
+}
+
+/// Population-Based Training adapted to pipeline search.
+///
+/// Maintains a population; each generation, members in the bottom
+/// quantile are replaced by exploit-and-explore copies of top-quantile
+/// members; with probability [`Pbt::fresh_prob`] a replacement is a
+/// fresh random pipeline instead of a mutation (§4.1.3: "injects more
+/// exploration by randomly generating FP pipelines with a fixed
+/// probability").
+pub struct Pbt {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    /// Population size.
+    pub population_size: usize,
+    /// Fraction considered top/bottom (PBT's truncation selection).
+    pub quantile: f64,
+    /// Probability a replacement is a fresh random pipeline.
+    pub fresh_prob: f64,
+    /// Stop after this many evaluations even if the context's budget is
+    /// not exhausted (used by the Two-step strategy's inner phases).
+    pub stop_after: Option<usize>,
+    /// Pipelines to seed the initial population with before random fill
+    /// — the §8 "warm-start search algorithms" extension (populated by
+    /// `autofp_automl::warmstart::MetaStore`).
+    pub seed_pipelines: Vec<Pipeline>,
+}
+
+impl Pbt {
+    /// PBT with the defaults used throughout the benchmark.
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> Pbt {
+        Pbt {
+            space,
+            max_len,
+            rng: rng_from_seed(seed),
+            population_size: 12,
+            quantile: 0.25,
+            fresh_prob: 0.25,
+            stop_after: None,
+            seed_pipelines: Vec::new(),
+        }
+    }
+
+    /// Builder-style warm start: seed the initial population.
+    pub fn with_seed_pipelines(mut self, seeds: Vec<Pipeline>) -> Pbt {
+        self.seed_pipelines = seeds;
+        self
+    }
+}
+
+impl Searcher for Pbt {
+    fn name(&self) -> &'static str {
+        "PBT"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let stop_after = self.stop_after;
+        let mut evals = 0usize;
+        let done = |evals: usize| stop_after.is_some_and(|n| evals >= n);
+        let mut population: Vec<Member> = Vec::with_capacity(self.population_size);
+        let mut birth = 0u64;
+        // Warm-start seeds first (truncated to the population size), then
+        // random fill.
+        let seeds: Vec<Pipeline> =
+            self.seed_pipelines.iter().take(self.population_size).cloned().collect();
+        for p in seeds {
+            let Some(t) = ctx.evaluate(&p) else { return };
+            population.push(Member { pipeline: p, accuracy: t.accuracy, birth });
+            birth += 1;
+            evals += 1;
+            if done(evals) {
+                return;
+            }
+        }
+        while population.len() < self.population_size {
+            let p = self.space.sample_pipeline(&mut self.rng, self.max_len);
+            let Some(t) = ctx.evaluate(&p) else { return };
+            population.push(Member { pipeline: p, accuracy: t.accuracy, birth });
+            birth += 1;
+            evals += 1;
+            if done(evals) {
+                return;
+            }
+        }
+
+        let k = ((self.population_size as f64 * self.quantile).round() as usize)
+            .clamp(1, self.population_size / 2);
+        loop {
+            if ctx.exhausted() {
+                return;
+            }
+            // Rank descending by accuracy.
+            population.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("NaN"));
+            // Replace each bottom-k member.
+            for i in (self.population_size - k)..self.population_size {
+                let replacement = if self.rng.gen::<f64>() < self.fresh_prob {
+                    self.space.sample_pipeline(&mut self.rng, self.max_len)
+                } else {
+                    // Exploit: copy a random top-k member; explore: mutate.
+                    let src = self.rng.gen_range(0..k);
+                    mutate(&population[src].pipeline, &self.space, self.max_len, &mut self.rng)
+                };
+                let Some(t) = ctx.evaluate(&replacement) else { return };
+                population[i] = Member { pipeline: replacement, accuracy: t.accuracy, birth };
+                birth += 1;
+                evals += 1;
+                if done(evals) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("evo-test", 150, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    #[test]
+    fn tevo_variants_run_and_differ_in_name() {
+        let ev = evaluator();
+        let mut h = TournamentEvolution::new(ParamSpace::default_space(), 4, KillStrategy::Worst, 1);
+        let mut y = TournamentEvolution::new(ParamSpace::default_space(), 4, KillStrategy::Oldest, 1);
+        let oh = run_search(&mut h, &ev, Budget::evals(20));
+        let oy = run_search(&mut y, &ev, Budget::evals(20));
+        assert_eq!(oh.algorithm, "TEVO_H");
+        assert_eq!(oy.algorithm, "TEVO_Y");
+        assert_eq!(oh.history.len(), 20);
+        assert_eq!(oy.history.len(), 20);
+    }
+
+    #[test]
+    fn pbt_runs_and_improves_over_random_start() {
+        let ev = evaluator();
+        let mut pbt = Pbt::new(ParamSpace::default_space(), 4, 9);
+        let out = run_search(&mut pbt, &ev, Budget::evals(30));
+        assert_eq!(out.history.len(), 30);
+        // Best of the full run is at least the best of the initial
+        // population (monotone best).
+        let init_best = out.history.trials()[..12]
+            .iter()
+            .map(|t| t.accuracy)
+            .fold(0.0_f64, f64::max);
+        assert!(out.best_accuracy() >= init_best);
+    }
+
+    #[test]
+    fn evolution_exploits_on_contrived_landscape() {
+        // On a dataset where scaling clearly helps LR, evolution should
+        // find a better-than-baseline pipeline within a modest budget.
+        let mut p = autofp_data::Personality::default();
+        p.scale_spread = 6.0;
+        p.skew = 0.5;
+        p.label_noise = 0.0;
+        p.class_sep = 2.0;
+        let d = SynthConfig::new("evo-landscape", 300, 8, 2, 21).with_personality(p).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let mut tevo =
+            TournamentEvolution::new(ParamSpace::default_space(), 4, KillStrategy::Worst, 5);
+        let out = run_search(&mut tevo, &ev, Budget::evals(25));
+        assert!(
+            out.best_accuracy() > ev.baseline_accuracy(),
+            "best {} <= baseline {}",
+            out.best_accuracy(),
+            ev.baseline_accuracy()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ev = evaluator();
+        let run = || {
+            let mut pbt = Pbt::new(ParamSpace::default_space(), 4, 13);
+            run_search(&mut pbt, &ev, Budget::evals(16)).best_accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn warm_start_seeds_are_evaluated_first() {
+        let ev = evaluator();
+        let seeds = vec![
+            autofp_preprocess::Pipeline::from_kinds(&[
+                autofp_preprocess::PreprocKind::StandardScaler,
+            ]),
+            autofp_preprocess::Pipeline::from_kinds(&[
+                autofp_preprocess::PreprocKind::Normalizer,
+            ]),
+        ];
+        let mut pbt =
+            Pbt::new(ParamSpace::default_space(), 4, 3).with_seed_pipelines(seeds.clone());
+        let out = run_search(&mut pbt, &ev, Budget::evals(15));
+        assert_eq!(out.history.trials()[0].pipeline.key(), seeds[0].key());
+        assert_eq!(out.history.trials()[1].pipeline.key(), seeds[1].key());
+        assert_eq!(out.history.len(), 15);
+    }
+
+    #[test]
+    fn small_budget_smaller_than_population_is_safe() {
+        let ev = evaluator();
+        let mut pbt = Pbt::new(ParamSpace::default_space(), 4, 2);
+        let out = run_search(&mut pbt, &ev, Budget::evals(3));
+        assert_eq!(out.history.len(), 3);
+    }
+}

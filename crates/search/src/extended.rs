@@ -1,0 +1,236 @@
+//! Parameter-search extensions (§6.2): One-step and Two-step.
+//!
+//! *One-step* treats every parameterization of every preprocessor as a
+//! distinct symbol and runs an ordinary pipeline search over the
+//! enlarged alphabet. *Two-step* alternates: draw a random parameter
+//! assignment (one variant per kind), then run a short pipeline search
+//! restricted to that assignment; repeat until the budget is exhausted.
+//! The paper uses PBT as the underlying searcher for both.
+
+use crate::evolution::Pbt;
+use autofp_core::{SearchContext, Searcher};
+
+use autofp_linalg::rng::{derive_seed, rng_from_seed};
+use autofp_preprocess::ParamSpace;
+use rand::rngs::StdRng;
+
+/// One-step: pipeline + parameter search in a single flattened space.
+pub struct OneStep {
+    inner: Pbt,
+}
+
+impl OneStep {
+    /// Build over an extended space (Table 6 or Table 7).
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> OneStep {
+        OneStep { inner: Pbt::new(space, max_len, seed) }
+    }
+}
+
+impl Searcher for OneStep {
+    fn name(&self) -> &'static str {
+        "One-step"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        self.inner.search(ctx);
+    }
+}
+
+/// Two-step: random parameter assignment, then a short pipeline search
+/// with those parameters fixed; repeat.
+pub struct TwoStep {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    seed: u64,
+    /// Evaluations per inner pipeline-search phase (the paper uses a
+    /// short time limit "like 60s" per phase; under eval budgets this is
+    /// the equivalent knob).
+    pub inner_evals: usize,
+    round: u64,
+}
+
+impl TwoStep {
+    /// Two-step over an extended space.
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> TwoStep {
+        TwoStep {
+            space,
+            max_len,
+            rng: rng_from_seed(derive_seed(seed, 0x25)),
+            seed,
+            inner_evals: 15,
+            round: 0,
+        }
+    }
+}
+
+impl Searcher for TwoStep {
+    fn name(&self) -> &'static str {
+        "Two-step"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        while !ctx.exhausted() {
+            // Step 1: randomly select parameter values for each kind.
+            let assignment = self.space.sample_assignment(&mut self.rng);
+            let restricted = ParamSpace::fixed_assignment(assignment);
+            // Step 2: short pipeline search over the restricted space.
+            self.round += 1;
+            let mut inner = Pbt::new(restricted, self.max_len, derive_seed(self.seed, self.round));
+            inner.population_size = 8;
+            inner.stop_after = Some(self.inner_evals);
+            inner.search(ctx);
+        }
+    }
+}
+
+/// Adaptive Two-step (§8, research opportunity 3: "allocate pipeline and
+/// parameter search time budget reasonably").
+///
+/// Like [`TwoStep`], but the inner pipeline-search length adapts: if a
+/// phase improved the global best, the next phase gets more evaluations
+/// (exploit the promising parameter assignment's neighbourhood longer);
+/// otherwise the next phase gets fewer (move on to fresh parameters
+/// sooner). Bounds keep the allocation sane.
+pub struct AdaptiveTwoStep {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    seed: u64,
+    /// Starting evaluations per phase.
+    pub initial_inner_evals: usize,
+    /// Inclusive bounds on the adaptive phase length.
+    pub min_inner_evals: usize,
+    /// Upper bound on the adaptive phase length.
+    pub max_inner_evals: usize,
+    round: u64,
+}
+
+impl AdaptiveTwoStep {
+    /// Adaptive Two-step over an extended space.
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> AdaptiveTwoStep {
+        AdaptiveTwoStep {
+            space,
+            max_len,
+            rng: rng_from_seed(derive_seed(seed, 0xAD2)),
+            seed,
+            initial_inner_evals: 12,
+            min_inner_evals: 6,
+            max_inner_evals: 48,
+            round: 0,
+        }
+    }
+}
+
+impl Searcher for AdaptiveTwoStep {
+    fn name(&self) -> &'static str {
+        "AdaptiveTwoStep"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let mut inner_evals = self.initial_inner_evals;
+        let mut global_best = 0.0_f64;
+        while !ctx.exhausted() {
+            let assignment = self.space.sample_assignment(&mut self.rng);
+            let restricted = ParamSpace::fixed_assignment(assignment);
+            self.round += 1;
+            let mut inner =
+                Pbt::new(restricted, self.max_len, derive_seed(self.seed, self.round));
+            inner.population_size = 8;
+            inner.stop_after = Some(inner_evals);
+            inner.search(ctx);
+            let best_now = ctx.history().best_accuracy();
+            if best_now > global_best + 1e-12 {
+                global_best = best_now;
+                inner_evals = (inner_evals * 2).min(self.max_inner_evals);
+            } else {
+                inner_evals = (inner_evals / 2).max(self.min_inner_evals);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+    use autofp_preprocess::PreprocKind;
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("ext-test", 120, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    #[test]
+    fn one_step_explores_parameter_variants() {
+        let ev = evaluator();
+        let mut s = OneStep::new(ParamSpace::low_cardinality(), 4, 3);
+        let out = run_search(&mut s, &ev, Budget::evals(25));
+        assert_eq!(out.history.len(), 25);
+        // With 31 variants, some evaluated step must be non-default.
+        let non_default = out.history.trials().iter().any(|t| {
+            t.pipeline.steps().iter().any(|s| {
+                s != &autofp_preprocess::Preproc::default_for(s.kind())
+            })
+        });
+        assert!(non_default, "One-step never left the default variants");
+    }
+
+    #[test]
+    fn two_step_phases_share_one_assignment() {
+        let ev = evaluator();
+        let mut s = TwoStep::new(ParamSpace::low_cardinality(), 4, 5);
+        s.inner_evals = 10;
+        let out = run_search(&mut s, &ev, Budget::evals(30));
+        assert_eq!(out.history.len(), 30);
+        // Within one phase, all Binarizer steps share a single threshold.
+        for phase in out.history.trials().chunks(10) {
+            let mut thresholds: Vec<u64> = phase
+                .iter()
+                .flat_map(|t| t.pipeline.steps().iter())
+                .filter_map(|s| match s {
+                    autofp_preprocess::Preproc::Binarizer { threshold } => {
+                        Some(threshold.to_bits())
+                    }
+                    _ => None,
+                })
+                .collect();
+            thresholds.sort_unstable();
+            thresholds.dedup();
+            assert!(thresholds.len() <= 1, "phase mixed Binarizer thresholds");
+        }
+    }
+
+    #[test]
+    fn adaptive_two_step_runs_and_respects_budget() {
+        let ev = evaluator();
+        let mut s = AdaptiveTwoStep::new(ParamSpace::low_cardinality(), 4, 9);
+        let out = run_search(&mut s, &ev, Budget::evals(40));
+        assert_eq!(out.history.len(), 40);
+        assert_eq!(out.algorithm, "AdaptiveTwoStep");
+    }
+
+    #[test]
+    fn one_step_over_high_cardinality_is_quantile_heavy() {
+        // The §6.3 degeneracy: One-step over Table 7 mostly samples
+        // QuantileTransformer steps.
+        let ev = evaluator();
+        let mut s = OneStep::new(ParamSpace::high_cardinality(), 4, 7);
+        let out = run_search(&mut s, &ev, Budget::evals(15));
+        let mut quantile = 0usize;
+        let mut total = 0usize;
+        for t in out.history.trials() {
+            for step in t.pipeline.steps() {
+                total += 1;
+                if step.kind() == PreprocKind::QuantileTransformer {
+                    quantile += 1;
+                }
+            }
+        }
+        assert!(
+            quantile as f64 / total as f64 > 0.8,
+            "quantile steps {quantile}/{total}"
+        );
+    }
+}

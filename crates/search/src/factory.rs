@@ -1,0 +1,191 @@
+//! Name-indexed construction of the 15 search algorithms (Table 3).
+
+use crate::bandit::{Bohb, Hyperband};
+use crate::evolution::{KillStrategy, Pbt, TournamentEvolution};
+use crate::pnas::{ProgressiveNas, SurrogateKind};
+use crate::random::{Anneal, RandomSearch};
+use crate::rl::{Enas, Reinforce};
+use crate::smac::Smac;
+use crate::tpe_search::TpeSearch;
+use autofp_core::Searcher;
+use autofp_preprocess::ParamSpace;
+
+/// The 15 algorithms of the study, by their Table 3 names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgName {
+    /// Random Search.
+    Rs,
+    /// Anneal (hill climbing with decaying restarts).
+    Anneal,
+    /// SMAC (random-forest surrogate).
+    Smac,
+    /// TPE (Parzen estimators).
+    Tpe,
+    /// Progressive NAS, single MLP surrogate.
+    Pmne,
+    /// Progressive NAS, MLP ensemble.
+    Pme,
+    /// Progressive NAS, single LSTM surrogate.
+    Plne,
+    /// Progressive NAS, LSTM ensemble.
+    Ple,
+    /// Population-Based Training.
+    Pbt,
+    /// Tournament evolution, kill-worst.
+    TevoH,
+    /// Tournament evolution, kill-oldest (regularized evolution).
+    TevoY,
+    /// REINFORCE policy gradient.
+    Reinforce,
+    /// ENAS (LSTM controller).
+    Enas,
+    /// Hyperband successive halving.
+    Hyperband,
+    /// BOHB (Hyperband + TPE proposals).
+    Bohb,
+}
+
+impl AlgName {
+    /// All 15, in the paper's Table 4 column order.
+    pub const ALL: [AlgName; 15] = [
+        AlgName::Rs,
+        AlgName::Anneal,
+        AlgName::Tpe,
+        AlgName::Smac,
+        AlgName::TevoH,
+        AlgName::TevoY,
+        AlgName::Pbt,
+        AlgName::Reinforce,
+        AlgName::Enas,
+        AlgName::Hyperband,
+        AlgName::Bohb,
+        AlgName::Pmne,
+        AlgName::Pme,
+        AlgName::Plne,
+        AlgName::Ple,
+    ];
+
+    /// Table 3 display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlgName::Rs => "RS",
+            AlgName::Anneal => "Anneal",
+            AlgName::Smac => "SMAC",
+            AlgName::Tpe => "TPE",
+            AlgName::Pmne => "PMNE",
+            AlgName::Pme => "PME",
+            AlgName::Plne => "PLNE",
+            AlgName::Ple => "PLE",
+            AlgName::Pbt => "PBT",
+            AlgName::TevoH => "TEVO_H",
+            AlgName::TevoY => "TEVO_Y",
+            AlgName::Reinforce => "REINFORCE",
+            AlgName::Enas => "ENAS",
+            AlgName::Hyperband => "HYPERBAND",
+            AlgName::Bohb => "BOHB",
+        }
+    }
+
+    /// Parse a Table 3 name (case-insensitive).
+    pub fn parse(s: &str) -> Option<AlgName> {
+        Self::ALL.iter().copied().find(|a| a.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// The paper's category of this algorithm.
+    pub fn category(self) -> &'static str {
+        match self {
+            AlgName::Rs | AlgName::Anneal => "Traditional",
+            AlgName::Smac | AlgName::Tpe | AlgName::Pmne | AlgName::Pme | AlgName::Plne
+            | AlgName::Ple => "Surrogate-model-based",
+            AlgName::Pbt | AlgName::TevoH | AlgName::TevoY => "Evolution-based",
+            AlgName::Reinforce | AlgName::Enas => "RL-based",
+            AlgName::Hyperband | AlgName::Bohb => "Bandit-based",
+        }
+    }
+}
+
+impl std::fmt::Display for AlgName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Construct a searcher by name over a space.
+pub fn make_searcher(
+    name: AlgName,
+    space: ParamSpace,
+    max_len: usize,
+    seed: u64,
+) -> Box<dyn Searcher> {
+    match name {
+        AlgName::Rs => Box::new(RandomSearch::new(space, max_len, seed)),
+        AlgName::Anneal => Box::new(Anneal::new(space, max_len, seed)),
+        AlgName::Smac => Box::new(Smac::new(space, max_len, seed)),
+        AlgName::Tpe => Box::new(TpeSearch::new(space, max_len, seed)),
+        AlgName::Pmne => {
+            Box::new(ProgressiveNas::new(space, max_len, SurrogateKind::MlpNoEnsemble, seed))
+        }
+        AlgName::Pme => {
+            Box::new(ProgressiveNas::new(space, max_len, SurrogateKind::MlpEnsemble, seed))
+        }
+        AlgName::Plne => {
+            Box::new(ProgressiveNas::new(space, max_len, SurrogateKind::LstmNoEnsemble, seed))
+        }
+        AlgName::Ple => {
+            Box::new(ProgressiveNas::new(space, max_len, SurrogateKind::LstmEnsemble, seed))
+        }
+        AlgName::Pbt => Box::new(Pbt::new(space, max_len, seed)),
+        AlgName::TevoH => {
+            Box::new(TournamentEvolution::new(space, max_len, KillStrategy::Worst, seed))
+        }
+        AlgName::TevoY => {
+            Box::new(TournamentEvolution::new(space, max_len, KillStrategy::Oldest, seed))
+        }
+        AlgName::Reinforce => Box::new(Reinforce::new(space, max_len, seed)),
+        AlgName::Enas => Box::new(Enas::new(space, max_len, seed)),
+        AlgName::Hyperband => Box::new(Hyperband::new(space, max_len, seed)),
+        AlgName::Bohb => Box::new(Bohb::new(space, max_len, seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+
+    #[test]
+    fn all_fifteen_construct_and_run() {
+        let d = SynthConfig::new("factory-test", 100, 4, 2, 3).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        for name in AlgName::ALL {
+            let mut s = make_searcher(name, ParamSpace::default_space(), 3, 7);
+            let out = run_search(s.as_mut(), &ev, Budget::evals(8));
+            assert!(!out.history.is_empty(), "{name} evaluated nothing");
+            assert_eq!(out.algorithm, name.as_str());
+        }
+    }
+
+    #[test]
+    fn names_parse_roundtrip() {
+        for name in AlgName::ALL {
+            assert_eq!(AlgName::parse(name.as_str()), Some(name));
+            assert_eq!(AlgName::parse(&name.as_str().to_lowercase()), Some(name));
+        }
+        assert_eq!(AlgName::parse("nope"), None);
+    }
+
+    #[test]
+    fn categories_match_table3() {
+        assert_eq!(AlgName::Rs.category(), "Traditional");
+        assert_eq!(AlgName::Pme.category(), "Surrogate-model-based");
+        assert_eq!(AlgName::Pbt.category(), "Evolution-based");
+        assert_eq!(AlgName::Enas.category(), "RL-based");
+        assert_eq!(AlgName::Bohb.category(), "Bandit-based");
+        let counts: Vec<usize> = ["Traditional", "Surrogate-model-based", "Evolution-based", "RL-based", "Bandit-based"]
+            .iter()
+            .map(|c| AlgName::ALL.iter().filter(|a| a.category() == *c).count())
+            .collect();
+        assert_eq!(counts, vec![2, 6, 3, 2, 2]);
+    }
+}

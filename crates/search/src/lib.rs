@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! The 15 Auto-FP search algorithms (§4 of the paper) and the §6
+//! parameter-search extensions.
+//!
+//! | Category | Algorithms |
+//! |---|---|
+//! | Traditional | [`random::RandomSearch`], [`random::Anneal`] |
+//! | Surrogate-model-based | [`smac::Smac`], [`tpe_search::TpeSearch`], [`pnas::ProgressiveNas`] (PMNE/PME/PLNE/PLE) |
+//! | Evolution-based | [`evolution::Pbt`], [`evolution::TournamentEvolution`] (TEVO_H/TEVO_Y) |
+//! | RL-based | [`rl::Reinforce`], [`rl::Enas`] |
+//! | Bandit-based | [`bandit::Hyperband`], [`bandit::Bohb`] |
+//!
+//! All implement [`autofp_core::Searcher`] and interact with the world
+//! through [`autofp_core::SearchContext`] (Algorithm 1). The
+//! [`factory`] module constructs any of the 15 by name; [`extended`]
+//! provides the One-step/Two-step parameter-search strategies.
+
+pub mod bandit;
+pub mod evolution;
+pub mod extended;
+pub mod factory;
+pub mod mutation;
+pub mod pnas;
+pub mod random;
+pub mod rl;
+pub mod smac;
+pub mod tpe_search;
+
+pub use bandit::{Bohb, Hyperband};
+pub use evolution::{Pbt, TournamentEvolution};
+pub use extended::{AdaptiveTwoStep, OneStep, TwoStep};
+pub use factory::{make_searcher, AlgName};
+pub use pnas::{ProgressiveNas, SurrogateKind};
+pub use random::{Anneal, RandomSearch};
+pub use rl::{Enas, Reinforce};
+pub use smac::Smac;
+pub use tpe_search::TpeSearch;

@@ -1,0 +1,285 @@
+//! Progressive NAS (§4.1.2): beam search over pipeline length with a
+//! learned surrogate ranking the expansions — four variants by
+//! surrogate (MLP/LSTM, with/without ensemble): PMNE, PME, PLNE, PLE.
+
+use crate::mutation::Alphabet;
+use autofp_core::{SearchContext, Searcher};
+use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
+use autofp_linalg::Matrix;
+use autofp_preprocess::encoding::encode_pipeline;
+use autofp_preprocess::ParamSpace;
+use autofp_surrogate::lstm::{LstmEnsemble, LstmRegParams, LstmRegressor};
+use autofp_surrogate::mlp_reg::{MlpEnsemble, MlpRegParams, MlpRegressor};
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Which surrogate a [`ProgressiveNas`] instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurrogateKind {
+    /// Single MLP (the paper's PMNE).
+    MlpNoEnsemble,
+    /// MLP ensemble (PME).
+    MlpEnsemble,
+    /// Single LSTM (PLNE).
+    LstmNoEnsemble,
+    /// LSTM ensemble (PLE).
+    LstmEnsemble,
+}
+
+impl SurrogateKind {
+    /// Table 3 display name (PMNE/PME/PLNE/PLE).
+    pub fn table_name(self) -> &'static str {
+        match self {
+            SurrogateKind::MlpNoEnsemble => "PMNE",
+            SurrogateKind::MlpEnsemble => "PME",
+            SurrogateKind::LstmNoEnsemble => "PLNE",
+            SurrogateKind::LstmEnsemble => "PLE",
+        }
+    }
+}
+
+enum Surrogate {
+    Mlp(MlpRegressor),
+    MlpEns(MlpEnsemble),
+    Lstm(LstmRegressor),
+    LstmEns(LstmEnsemble),
+}
+
+/// Progressive NAS searcher.
+pub struct ProgressiveNas {
+    #[allow(dead_code)]
+    space: ParamSpace,
+    alphabet: Alphabet,
+    max_len: usize,
+    kind: SurrogateKind,
+    rng: StdRng,
+    /// Beam width (evaluations per level).
+    pub beam_size: usize,
+    /// Ensemble member count for the ensemble variants.
+    pub n_members: usize,
+    /// Cap on expansion tokens per beam element for huge alphabets.
+    pub max_expand_tokens: usize,
+    seed: u64,
+}
+
+impl ProgressiveNas {
+    /// Progressive NAS with the chosen surrogate kind.
+    pub fn new(space: ParamSpace, max_len: usize, kind: SurrogateKind, seed: u64) -> Self {
+        let alphabet = Alphabet::new(&space);
+        ProgressiveNas {
+            space,
+            alphabet,
+            max_len,
+            kind,
+            rng: rng_from_seed(seed),
+            beam_size: 6,
+            n_members: 3,
+            max_expand_tokens: 16,
+            seed,
+        }
+    }
+
+    /// Fit the configured surrogate on the full history.
+    fn fit_surrogate(&self, history: &[(Vec<usize>, f64)], round: u64) -> Surrogate {
+        let seed = derive_seed(self.seed, round);
+        match self.kind {
+            SurrogateKind::MlpNoEnsemble | SurrogateKind::MlpEnsemble => {
+                let rows: Vec<Vec<f64>> = history
+                    .iter()
+                    .map(|(t, _)| encode_pipeline(&self.alphabet.decode(t), self.max_len))
+                    .collect();
+                let x = Matrix::from_rows(&rows);
+                let y: Vec<f64> = history.iter().map(|(_, a)| *a).collect();
+                let params = MlpRegParams { seed, ..Default::default() };
+                if self.kind == SurrogateKind::MlpNoEnsemble {
+                    Surrogate::Mlp(MlpRegressor::fit(&x, &y, &params))
+                } else {
+                    Surrogate::MlpEns(MlpEnsemble::fit(&x, &y, &params, self.n_members))
+                }
+            }
+            SurrogateKind::LstmNoEnsemble | SurrogateKind::LstmEnsemble => {
+                // LSTM consumes variant tokens shifted by one (0 = start).
+                let seqs: Vec<Vec<usize>> =
+                    history.iter().map(|(t, _)| t.iter().map(|&v| v + 1).collect()).collect();
+                let y: Vec<f64> = history.iter().map(|(_, a)| *a).collect();
+                let vocab = self.alphabet.len().min(63) + 1;
+                let params = LstmRegParams { seed, ..Default::default() };
+                if self.kind == SurrogateKind::LstmNoEnsemble {
+                    Surrogate::Lstm(LstmRegressor::fit(&seqs, &y, vocab, &params))
+                } else {
+                    Surrogate::LstmEns(LstmEnsemble::fit(&seqs, &y, vocab, &params, self.n_members))
+                }
+            }
+        }
+    }
+
+    fn predict(&self, s: &Surrogate, tokens: &[usize]) -> f64 {
+        match s {
+            Surrogate::Mlp(m) => m.predict(&encode_pipeline(&self.alphabet.decode(tokens), self.max_len)),
+            Surrogate::MlpEns(m) => {
+                m.predict(&encode_pipeline(&self.alphabet.decode(tokens), self.max_len))
+            }
+            Surrogate::Lstm(m) => {
+                let seq: Vec<usize> = tokens.iter().map(|&v| v + 1).collect();
+                m.predict(&seq)
+            }
+            Surrogate::LstmEns(m) => {
+                let seq: Vec<usize> = tokens.iter().map(|&v| v + 1).collect();
+                m.predict(&seq)
+            }
+        }
+    }
+
+    /// Tokens to consider when expanding (the whole alphabet, or a random
+    /// subset for huge One-step alphabets).
+    fn expansion_tokens(&mut self) -> Vec<usize> {
+        let k = self.alphabet.len();
+        if k <= self.max_expand_tokens {
+            (0..k).collect()
+        } else {
+            sample_indices(&mut self.rng, k, self.max_expand_tokens)
+        }
+    }
+}
+
+impl Searcher for ProgressiveNas {
+    fn name(&self) -> &'static str {
+        self.kind.table_name()
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let mut history: Vec<(Vec<usize>, f64)> = Vec::new();
+        let mut evaluated: HashSet<Vec<usize>> = HashSet::new();
+
+        // Level 1: evaluate single-symbol pipelines (the paper: "initially
+        // starts by considering single preprocessors as pipelines").
+        let singles = self.expansion_tokens();
+        for t in singles {
+            let tokens = vec![t];
+            if evaluated.contains(&tokens) {
+                continue;
+            }
+            let p = self.alphabet.decode(&tokens);
+            let Some(trial) = ctx.evaluate(&p) else { return };
+            evaluated.insert(tokens.clone());
+            history.push((tokens, trial.accuracy));
+        }
+
+        let mut round: u64 = 0;
+        loop {
+            // One progressive sweep from length 2 up to max_len.
+            let mut beam: Vec<Vec<usize>> = top_k_of_len(&history, 1, self.beam_size);
+            for level in 2..=self.max_len {
+                if ctx.exhausted() {
+                    return;
+                }
+                round += 1;
+                let surrogate = self.fit_surrogate(&history, round);
+                let expand = self.expansion_tokens();
+                // Candidate expansions, scored by the surrogate.
+                let mut scored: Vec<(f64, Vec<usize>)> = Vec::new();
+                for b in &beam {
+                    for &t in &expand {
+                        let mut cand = b.clone();
+                        cand.push(t);
+                        if evaluated.contains(&cand) {
+                            continue;
+                        }
+                        let score = self.predict(&surrogate, &cand);
+                        scored.push((score, cand));
+                    }
+                }
+                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN surrogate score"));
+                scored.truncate(self.beam_size);
+                if scored.is_empty() {
+                    break;
+                }
+                for (_, tokens) in scored {
+                    let p = self.alphabet.decode(&tokens);
+                    let Some(trial) = ctx.evaluate(&p) else { return };
+                    evaluated.insert(tokens.clone());
+                    history.push((tokens, trial.accuracy));
+                }
+                beam = top_k_of_len(&history, level, self.beam_size);
+                if beam.is_empty() {
+                    break;
+                }
+            }
+            if ctx.exhausted() {
+                return;
+            }
+        }
+    }
+}
+
+/// Top-k token sequences of a given length by observed accuracy.
+fn top_k_of_len(history: &[(Vec<usize>, f64)], len: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut of_len: Vec<&(Vec<usize>, f64)> =
+        history.iter().filter(|(t, _)| t.len() == len).collect();
+    of_len.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN accuracy"));
+    of_len.into_iter().take(k).map(|(t, _)| t.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("pnas-test", 120, 4, 2, 5).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    #[test]
+    fn all_four_variants_run() {
+        let ev = evaluator();
+        for kind in [
+            SurrogateKind::MlpNoEnsemble,
+            SurrogateKind::MlpEnsemble,
+            SurrogateKind::LstmNoEnsemble,
+            SurrogateKind::LstmEnsemble,
+        ] {
+            let mut pnas = ProgressiveNas::new(ParamSpace::default_space(), 3, kind, 3);
+            pnas.beam_size = 3;
+            let out = run_search(&mut pnas, &ev, Budget::evals(12));
+            assert_eq!(out.history.len(), 12, "{}", kind.table_name());
+            assert_eq!(out.algorithm, kind.table_name());
+        }
+    }
+
+    #[test]
+    fn initialization_covers_singles_first() {
+        let ev = evaluator();
+        let mut pnas =
+            ProgressiveNas::new(ParamSpace::default_space(), 3, SurrogateKind::MlpNoEnsemble, 1);
+        let out = run_search(&mut pnas, &ev, Budget::evals(7));
+        // First 7 evaluations are the 7 single-preprocessor pipelines.
+        for t in out.history.trials() {
+            assert_eq!(t.pipeline.len(), 1);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_evaluations() {
+        let ev = evaluator();
+        let mut pnas =
+            ProgressiveNas::new(ParamSpace::default_space(), 3, SurrogateKind::MlpNoEnsemble, 7);
+        pnas.beam_size = 4;
+        let out = run_search(&mut pnas, &ev, Budget::evals(25));
+        let mut keys: Vec<String> =
+            out.history.trials().iter().map(|t| t.pipeline.key()).collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "PNAS re-evaluated a pipeline");
+    }
+
+    #[test]
+    fn table_names_match_paper() {
+        assert_eq!(SurrogateKind::MlpNoEnsemble.table_name(), "PMNE");
+        assert_eq!(SurrogateKind::MlpEnsemble.table_name(), "PME");
+        assert_eq!(SurrogateKind::LstmNoEnsemble.table_name(), "PLNE");
+        assert_eq!(SurrogateKind::LstmEnsemble.table_name(), "PLE");
+    }
+}

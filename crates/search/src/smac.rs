@@ -1,0 +1,148 @@
+//! SMAC (§4.1.2): sequential model-based optimization with a
+//! random-forest surrogate and expected-improvement acquisition.
+
+use crate::mutation::mutate;
+use autofp_core::{SearchContext, Searcher};
+use autofp_linalg::dist::{norm_cdf, norm_pdf};
+use autofp_linalg::rng::rng_from_seed;
+use autofp_linalg::Matrix;
+use autofp_preprocess::encoding::encode_pipeline;
+use autofp_preprocess::{ParamSpace, Pipeline};
+use autofp_surrogate::rf::{RandomForestRegressor, RfParams};
+use rand::rngs::StdRng;
+
+/// SMAC configuration.
+pub struct Smac {
+    space: ParamSpace,
+    max_len: usize,
+    rng: StdRng,
+    /// Random-search initialization size (Algorithm 1, Step 1).
+    pub n_init: usize,
+    /// Candidates scored by the acquisition function per iteration.
+    pub n_candidates: usize,
+    /// Local-search mutations of the incumbent added to the candidates.
+    pub n_local: usize,
+    rf_params: RfParams,
+}
+
+impl Smac {
+    /// SMAC with the defaults used throughout the benchmark.
+    pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> Smac {
+        Smac {
+            space,
+            max_len,
+            rng: rng_from_seed(seed),
+            n_init: 5,
+            n_candidates: 50,
+            n_local: 10,
+            rf_params: RfParams { seed, ..Default::default() },
+        }
+    }
+
+    /// Expected improvement of predicted error under the incumbent.
+    fn expected_improvement(mean: f64, std: f64, best_error: f64) -> f64 {
+        if std <= 1e-12 {
+            return (best_error - mean).max(0.0);
+        }
+        let z = (best_error - mean) / std;
+        (best_error - mean) * norm_cdf(z) + std * norm_pdf(z)
+    }
+}
+
+impl Searcher for Smac {
+    fn name(&self) -> &'static str {
+        "SMAC"
+    }
+
+    fn search(&mut self, ctx: &mut SearchContext) {
+        let mut observed: Vec<(Pipeline, Vec<f64>, f64)> = Vec::new(); // (pipe, enc, error)
+
+        // Step 1: random initialization.
+        for _ in 0..self.n_init {
+            let p = self.space.sample_pipeline(&mut self.rng, self.max_len);
+            let Some(t) = ctx.evaluate(&p) else { return };
+            observed.push((p.clone(), encode_pipeline(&p, self.max_len), t.error));
+        }
+
+        loop {
+            if ctx.exhausted() {
+                return;
+            }
+            // Step 2: fit the random forest on (encoding -> error).
+            let x = Matrix::from_rows(
+                &observed.iter().map(|(_, e, _)| e.clone()).collect::<Vec<_>>(),
+            );
+            let y: Vec<f64> = observed.iter().map(|(_, _, err)| *err).collect();
+            let rf = RandomForestRegressor::fit(&x, &y, &self.rf_params);
+            let best_error = y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let incumbent = observed
+                .iter()
+                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN error"))
+                .expect("non-empty observed")
+                .0
+                .clone();
+
+            // Step 3: candidates = random samples + incumbent mutations,
+            // pick the best acquisition score.
+            let mut best_cand: Option<(f64, Pipeline)> = None;
+            let total = self.n_candidates + self.n_local;
+            for i in 0..total {
+                let cand = if i < self.n_candidates {
+                    self.space.sample_pipeline(&mut self.rng, self.max_len)
+                } else {
+                    mutate(&incumbent, &self.space, self.max_len, &mut self.rng)
+                };
+                let enc = encode_pipeline(&cand, self.max_len);
+                let (mean, std) = rf.predict_with_std(&enc);
+                let ei = Self::expected_improvement(mean, std, best_error);
+                if best_cand.as_ref().is_none_or(|(b, _)| ei > *b) {
+                    best_cand = Some((ei, cand));
+                }
+            }
+            let (_, chosen) = best_cand.expect("candidates generated");
+
+            // Step 4: evaluate.
+            let Some(t) = ctx.evaluate(&chosen) else { return };
+            observed.push((chosen.clone(), encode_pipeline(&chosen, self.max_len), t.error));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+    use autofp_data::SynthConfig;
+
+    #[test]
+    fn smac_runs_and_improves_over_init() {
+        let d = SynthConfig::new("smac-test", 200, 6, 2, 7).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let mut smac = Smac::new(ParamSpace::default_space(), 4, 3);
+        let out = run_search(&mut smac, &ev, Budget::evals(15));
+        assert_eq!(out.history.len(), 15);
+        assert!(out.best_accuracy() > 0.0);
+    }
+
+    #[test]
+    fn ei_is_zero_when_no_improvement_possible() {
+        let ei = Smac::expected_improvement(0.9, 0.0, 0.5);
+        assert_eq!(ei, 0.0);
+        // High uncertainty gives positive EI even with a worse mean.
+        let ei2 = Smac::expected_improvement(0.9, 0.5, 0.5);
+        assert!(ei2 > 0.0);
+        // Better mean dominates.
+        assert!(Smac::expected_improvement(0.1, 0.1, 0.5) > ei2);
+    }
+
+    #[test]
+    fn smac_is_deterministic() {
+        let d = SynthConfig::new("smac-det", 120, 4, 2, 9).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let run = || {
+            let mut s = Smac::new(ParamSpace::default_space(), 4, 11);
+            run_search(&mut s, &ev, Budget::evals(8)).best_accuracy()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,251 @@
+//! Random-forest *regressor* — SMAC's surrogate model.
+//!
+//! Bagged variance-reduction regression trees with per-node feature
+//! subsampling. SMAC also uses the across-tree variance of predictions
+//! for its acquisition function (expected improvement); [`
+//! RandomForestRegressor::predict_with_std`] exposes it.
+
+use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
+use autofp_linalg::Matrix;
+use rand::Rng;
+
+/// Hyperparameters for the random-forest regressor.
+#[derive(Debug, Clone)]
+pub struct RfParams {
+    /// Number of bagged trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples_split: usize,
+    /// Features considered per split; `None` = sqrt(d).
+    pub max_features: Option<usize>,
+    /// Bootstrap/feature-subsampling seed.
+    pub seed: u64,
+}
+
+impl Default for RfParams {
+    fn default() -> Self {
+        RfParams { n_trees: 10, max_depth: 12, min_samples_split: 4, max_features: None, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct RegTree {
+    nodes: Vec<Node>,
+}
+
+impl RegTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    let v = row.get(*feature).copied().unwrap_or(0.0);
+                    i = if v <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A trained random-forest regressor.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    trees: Vec<RegTree>,
+}
+
+impl RandomForestRegressor {
+    /// Fit on rows `x` with targets `y`.
+    pub fn fit(x: &Matrix, y: &[f64], params: &RfParams) -> RandomForestRegressor {
+        assert_eq!(x.nrows(), y.len());
+        assert!(!y.is_empty(), "cannot fit on empty data");
+        let n = x.nrows();
+        let d = x.ncols();
+        let max_features = params.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d.max(1));
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for t in 0..params.n_trees {
+            let mut rng = rng_from_seed(derive_seed(params.seed, t as u64));
+            // Bootstrap sample.
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let mut builder = TreeBuilder {
+                x,
+                y,
+                params,
+                max_features,
+                nodes: Vec::new(),
+                rng_seed: derive_seed(params.seed, 1000 + t as u64),
+                counter: 0,
+            };
+            builder.grow(&rows, 0);
+            trees.push(RegTree { nodes: builder.nodes });
+        }
+        RandomForestRegressor { trees }
+    }
+
+    /// Mean prediction across trees.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let sum: f64 = self.trees.iter().map(|t| t.predict(row)).sum();
+        sum / self.trees.len() as f64
+    }
+
+    /// Mean and across-tree standard deviation (SMAC's uncertainty).
+    pub fn predict_with_std(&self, row: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(row)).collect();
+        let mean = autofp_linalg::stats::mean(&preds);
+        let std = autofp_linalg::stats::std_dev(&preds);
+        (mean, std)
+    }
+}
+
+struct TreeBuilder<'a> {
+    x: &'a Matrix,
+    y: &'a [f64],
+    params: &'a RfParams,
+    max_features: usize,
+    nodes: Vec<Node>,
+    rng_seed: u64,
+    counter: u64,
+}
+
+impl TreeBuilder<'_> {
+    fn grow(&mut self, rows: &[usize], depth: usize) -> usize {
+        let mean = rows.iter().map(|&i| self.y[i]).sum::<f64>() / rows.len().max(1) as f64;
+        if depth >= self.params.max_depth || rows.len() < self.params.min_samples_split {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match self.best_split(rows) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (l, r): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&i| self.x.get(i, feature) <= threshold);
+                if l.is_empty() || r.is_empty() {
+                    self.nodes.push(Node::Leaf { value: mean });
+                    return self.nodes.len() - 1;
+                }
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 });
+                let left = self.grow(&l, depth + 1);
+                let right = self.grow(&r, depth + 1);
+                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+
+    /// Best split by squared-error reduction over a random feature subset.
+    fn best_split(&mut self, rows: &[usize]) -> Option<(usize, f64)> {
+        self.counter += 1;
+        let mut rng = rng_from_seed(derive_seed(self.rng_seed, self.counter));
+        let d = self.x.ncols();
+        let features = sample_indices(&mut rng, d, self.max_features);
+
+        let n = rows.len() as f64;
+        let total_sum: f64 = rows.iter().map(|&i| self.y[i]).sum();
+        let total_sq: f64 = rows.iter().map(|&i| self.y[i] * self.y[i]).sum();
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(f64, usize, f64)> = None;
+        let mut sorted = rows.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| self.x.get(a, f).total_cmp(&self.x.get(b, f)));
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for w in 0..sorted.len() - 1 {
+                let i = sorted[w];
+                left_sum += self.y[i];
+                left_sq += self.y[i] * self.y[i];
+                let v = self.x.get(i, f);
+                let v_next = self.x.get(sorted[w + 1], f);
+                if v == v_next {
+                    continue;
+                }
+                let nl = (w + 1) as f64;
+                let nr = n - nl;
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                let gain = parent_sse - sse;
+                if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
+                    best = Some((gain, f, (v + v_next) / 2.0));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> (Matrix, Vec<f64>) {
+        // y = x0 * 2 + step(x1 > 0.5)
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i % 20) as f64 / 20.0, ((i * 7) % 20) as f64 / 20.0])
+            .collect();
+        let y: Vec<f64> =
+            rows.iter().map(|r| 2.0 * r[0] + if r[1] > 0.5 { 1.0 } else { 0.0 }).collect();
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn fits_piecewise_function() {
+        let (x, y) = grid_data();
+        let rf = RandomForestRegressor::fit(&x, &y, &RfParams::default());
+        let mut sse = 0.0;
+        for (i, row) in x.rows_iter().enumerate() {
+            let p = rf.predict(row);
+            sse += (p - y[i]).powi(2);
+        }
+        let mse = sse / y.len() as f64;
+        assert!(mse < 0.05, "mse {mse}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = grid_data();
+        let a = RandomForestRegressor::fit(&x, &y, &RfParams::default());
+        let b = RandomForestRegressor::fit(&x, &y, &RfParams::default());
+        assert_eq!(a.predict(&[0.3, 0.7]), b.predict(&[0.3, 0.7]));
+    }
+
+    #[test]
+    fn uncertainty_higher_off_manifold() {
+        let (x, y) = grid_data();
+        let rf = RandomForestRegressor::fit(&x, &y, &RfParams::default());
+        let (_, std_in) = rf.predict_with_std(&[0.5, 0.5]);
+        let (_, std_out) = rf.predict_with_std(&[50.0, -50.0]);
+        // Both are finite; extrapolation shouldn't crash.
+        assert!(std_in.is_finite() && std_out.is_finite());
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![5.0; 4];
+        let rf = RandomForestRegressor::fit(&x, &y, &RfParams::default());
+        assert!((rf.predict(&[1.5]) - 5.0).abs() < 1e-9);
+        let (_, std) = rf.predict_with_std(&[1.5]);
+        assert!(std.abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_sample_is_safe() {
+        let x = Matrix::from_rows(&[vec![1.0]]);
+        let rf = RandomForestRegressor::fit(&x, &[0.7], &RfParams::default());
+        assert!((rf.predict(&[1.0]) - 0.7).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Tree-structured Parzen Estimator (TPE) machinery, specialized to the
+//! categorical pipeline space.
+//!
+//! TPE splits the observed trials into a *good* set (lowest-error γ
+//! quantile) and a *bad* set, fits a density to each, and suggests the
+//! candidate maximizing `g(x)/b(x)`. In the Auto-FP space a pipeline is
+//! a variable-length sequence of categorical symbols, so the "kernel
+//! density" degenerates to smoothed categorical distributions: one over
+//! pipeline lengths and one per position over the preprocessor alphabet
+//! — exactly how hyperopt handles categorical hyperparameters.
+
+use autofp_linalg::rng::weighted_index;
+use rand::rngs::StdRng;
+
+/// Configuration of the categorical TPE density pair.
+#[derive(Debug, Clone)]
+pub struct CategoricalTpe {
+    /// Alphabet size (number of distinct preprocessor variants).
+    pub alphabet: usize,
+    /// Maximum pipeline length.
+    pub max_len: usize,
+    /// Fraction of observations considered "good" (hyperopt default 0.25).
+    pub gamma: f64,
+    /// Additive smoothing weight for the categorical counts.
+    pub prior_weight: f64,
+}
+
+impl CategoricalTpe {
+    /// TPE with hyperopt-style defaults (gamma 0.25).
+    pub fn new(alphabet: usize, max_len: usize) -> CategoricalTpe {
+        CategoricalTpe { alphabet, max_len, gamma: 0.25, prior_weight: 1.0 }
+    }
+
+    /// Fit good/bad densities from `(sequence, error)` observations
+    /// (lower error = better). Sequences are variant indices in
+    /// `0..alphabet`, length `1..=max_len`.
+    ///
+    /// # Panics
+    /// Panics if `observations` is empty.
+    pub fn fit(&self, observations: &[(Vec<usize>, f64)]) -> TpeModel {
+        assert!(!observations.is_empty(), "TPE needs at least one observation");
+        let mut idx: Vec<usize> = (0..observations.len()).collect();
+        idx.sort_by(|&a, &b| {
+            observations[a].1.partial_cmp(&observations[b].1).expect("NaN error")
+        });
+        // hyperopt: n_good = ceil(gamma * n), at least 1.
+        let n_good = ((self.gamma * observations.len() as f64).ceil() as usize)
+            .clamp(1, observations.len());
+        let (good_idx, bad_idx) = idx.split_at(n_good);
+
+        let build = |ids: &[usize]| -> Density {
+            let mut len_counts = vec![self.prior_weight; self.max_len];
+            let mut pos_counts =
+                vec![vec![self.prior_weight; self.alphabet]; self.max_len];
+            for &i in ids {
+                let seq = &observations[i].0;
+                let len = seq.len().clamp(1, self.max_len);
+                len_counts[len - 1] += 1.0;
+                for (p, &sym) in seq.iter().enumerate().take(self.max_len) {
+                    pos_counts[p][sym.min(self.alphabet - 1)] += 1.0;
+                }
+            }
+            Density { len_probs: normalize(&len_counts), pos_probs: pos_counts.iter().map(|c| normalize(c)).collect() }
+        };
+
+        TpeModel { good: build(good_idx), bad: build(bad_idx) }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Density {
+    len_probs: Vec<f64>,
+    pos_probs: Vec<Vec<f64>>,
+}
+
+impl Density {
+    fn log_prob(&self, seq: &[usize]) -> f64 {
+        let len = seq.len().clamp(1, self.len_probs.len());
+        let mut lp = self.len_probs[len - 1].ln();
+        for (p, &sym) in seq.iter().enumerate().take(self.pos_probs.len()) {
+            lp += self.pos_probs[p][sym.min(self.pos_probs[p].len() - 1)].ln();
+        }
+        lp
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Vec<usize> {
+        let len = weighted_index(rng, &self.len_probs) + 1;
+        (0..len).map(|p| weighted_index(rng, &self.pos_probs[p])).collect()
+    }
+}
+
+/// Fitted good/bad density pair.
+#[derive(Debug, Clone)]
+pub struct TpeModel {
+    good: Density,
+    bad: Density,
+}
+
+impl TpeModel {
+    /// Sample one candidate from the good density.
+    pub fn sample_good(&self, rng: &mut StdRng) -> Vec<usize> {
+        self.good.sample(rng)
+    }
+
+    /// Acquisition score `log g(x) - log b(x)`; higher is better.
+    pub fn score(&self, seq: &[usize]) -> f64 {
+        self.good.log_prob(seq) - self.bad.log_prob(seq)
+    }
+
+    /// hyperopt's suggest step: draw `n_candidates` from the good
+    /// density, return the one with the best `g/b` ratio.
+    pub fn suggest(&self, rng: &mut StdRng, n_candidates: usize) -> Vec<usize> {
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for _ in 0..n_candidates.max(1) {
+            let cand = self.sample_good(rng);
+            let s = self.score(&cand);
+            if best.as_ref().is_none_or(|(bs, _)| s > *bs) {
+                best = Some((s, cand));
+            }
+        }
+        best.expect("at least one candidate").1
+    }
+}
+
+fn normalize(counts: &[f64]) -> Vec<f64> {
+    let total: f64 = counts.iter().sum();
+    counts.iter().map(|c| c / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_linalg::rng::rng_from_seed;
+
+    /// Observations where symbol 0 in position 0 is always good and
+    /// symbol 1 is always bad.
+    fn polarized() -> Vec<(Vec<usize>, f64)> {
+        let mut obs = Vec::new();
+        for i in 0..20 {
+            obs.push((vec![0, i % 3], 0.1)); // good
+            obs.push((vec![1, i % 3], 0.9)); // bad
+        }
+        obs
+    }
+
+    #[test]
+    fn good_density_prefers_good_symbols() {
+        let tpe = CategoricalTpe::new(3, 4);
+        let model = tpe.fit(&polarized());
+        assert!(model.score(&[0, 0]) > model.score(&[1, 0]));
+    }
+
+    #[test]
+    fn suggestions_concentrate_on_good_region() {
+        let tpe = CategoricalTpe::new(3, 4);
+        let model = tpe.fit(&polarized());
+        let mut rng = rng_from_seed(5);
+        let mut first_symbol_zero = 0;
+        for _ in 0..100 {
+            let s = model.suggest(&mut rng, 10);
+            if s[0] == 0 {
+                first_symbol_zero += 1;
+            }
+        }
+        assert!(first_symbol_zero > 80, "only {first_symbol_zero}/100 good suggestions");
+    }
+
+    #[test]
+    fn sampled_sequences_are_valid() {
+        let tpe = CategoricalTpe::new(7, 7);
+        let obs: Vec<(Vec<usize>, f64)> =
+            (0..10).map(|i| (vec![i % 7; (i % 7) + 1], i as f64 / 10.0)).collect();
+        let model = tpe.fit(&obs);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..50 {
+            let s = model.sample_good(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7);
+            assert!(s.iter().all(|&sym| sym < 7));
+        }
+    }
+
+    #[test]
+    fn single_observation_does_not_panic() {
+        let tpe = CategoricalTpe::new(7, 7);
+        let model = tpe.fit(&[(vec![3, 2], 0.5)]);
+        let mut rng = rng_from_seed(2);
+        let s = model.suggest(&mut rng, 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn length_preference_is_learned() {
+        // Good observations are all length 1; bad are length 7.
+        let mut obs = Vec::new();
+        for _ in 0..30 {
+            obs.push((vec![2], 0.05));
+            obs.push((vec![2; 7], 0.95));
+        }
+        let tpe = CategoricalTpe::new(7, 7);
+        let model = tpe.fit(&obs);
+        let mut rng = rng_from_seed(3);
+        let short = (0..100).filter(|_| model.sample_good(&mut rng).len() <= 2).count();
+        assert!(short > 70, "short {short}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one observation")]
+    fn empty_observations_panic() {
+        let _ = CategoricalTpe::new(7, 7).fit(&[]);
+    }
+}

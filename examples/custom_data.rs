@@ -1,0 +1,47 @@
+//! Using Auto-FP on your own CSV data.
+//!
+//! Writes a small CSV to a temp directory (stand-in for "your file"),
+//! loads it with the CSV reader, and searches for the best preprocessing
+//! pipeline for a gradient-boosted-tree model.
+//!
+//! Run with: `cargo run --release --example custom_data`
+
+use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp::data::csv::{read_csv_file, write_csv_file};
+use autofp::data::SynthConfig;
+use autofp::models::classifier::ModelKind;
+use autofp::preprocess::ParamSpace;
+use autofp::search::TournamentEvolution;
+use autofp::search::evolution::KillStrategy;
+
+fn main() -> std::io::Result<()> {
+    // Pretend this CSV came from the user.
+    let path = std::env::temp_dir().join("autofp_custom_data.csv");
+    let original = SynthConfig::new("my_data", 400, 6, 3, 99).generate();
+    write_csv_file(&original, &path)?;
+    println!("wrote example CSV to {}", path.display());
+
+    // Load it back the way a user would.
+    let dataset = read_csv_file(&path)?;
+    println!(
+        "loaded: {} rows x {} cols, {} classes",
+        dataset.n_rows(),
+        dataset.n_cols(),
+        dataset.n_classes
+    );
+
+    // Search with the paper's TEVO_H under an evaluation budget.
+    let evaluator =
+        Evaluator::new(&dataset, EvalConfig { model: ModelKind::Xgb, train_fraction: 0.8, seed: 3, train_subsample: None });
+    let mut searcher =
+        TournamentEvolution::new(ParamSpace::default_space(), 5, KillStrategy::Worst, 3);
+    let outcome = run_search(&mut searcher, &evaluator, Budget::evals(40));
+
+    println!("\nno-FP baseline (XGB): {:.4}", evaluator.baseline_accuracy());
+    let best = outcome.best().expect("evaluated pipelines");
+    println!("best pipeline:        {}", best.pipeline);
+    println!("best accuracy:        {:.4}", best.accuracy);
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Compare several search algorithms on one benchmark dataset under the
+//! same wall-clock budget — a miniature of the paper's §5 experiment.
+//!
+//! Run with: `cargo run --release --example search_comparison`
+
+use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp::data::spec_by_name;
+use autofp::models::classifier::ModelKind;
+use autofp::preprocess::ParamSpace;
+use autofp::search::{make_searcher, AlgName};
+use std::time::Duration;
+
+fn main() {
+    // A scaled-down "heart" (Table 9): small, scale-heterogeneous, the
+    // kind of dataset where FP moves LR accuracy a lot.
+    let dataset = spec_by_name("heart").expect("registry").generate(1.0);
+    println!(
+        "dataset: {} ({} rows x {} cols, {} classes)\n",
+        dataset.name,
+        dataset.n_rows(),
+        dataset.n_cols(),
+        dataset.n_classes
+    );
+
+    let budget = Budget::wall_clock(Duration::from_millis(500));
+    for model in [ModelKind::Lr, ModelKind::Xgb, ModelKind::Mlp] {
+        let evaluator =
+            Evaluator::new(&dataset, EvalConfig { model, train_fraction: 0.8, seed: 1, train_subsample: None });
+        println!(
+            "--- downstream model {model} (no-FP baseline {:.4}) ---",
+            evaluator.baseline_accuracy()
+        );
+        for alg in [AlgName::Rs, AlgName::Pbt, AlgName::TevoH, AlgName::Tpe, AlgName::Hyperband]
+        {
+            let mut searcher = make_searcher(alg, ParamSpace::default_space(), 7, 11);
+            let outcome = run_search(searcher.as_mut(), &evaluator, budget);
+            println!(
+                "{:>10}: best acc {:.4} ({:+.2} pp) after {:>4} evals; best = {}",
+                alg.as_str(),
+                outcome.best_accuracy(),
+                (outcome.best_accuracy() - evaluator.baseline_accuracy()) * 100.0,
+                outcome.history.len(),
+                outcome.best().map(|t| t.pipeline.to_string()).unwrap_or_default()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Note how the evolution-based searchers complete far more evaluations than the\n\
+         surrogate-based ones within the same wall-clock budget — the mechanism behind\n\
+         the paper's Table 4 ranking."
+    );
+}

@@ -1,0 +1,24 @@
+#!/bin/bash
+# Sequential experiment batch; each output recorded under results/.
+cd /root/repo
+B=target/release
+set -x
+$B/exp_fig5                                             > results/exp_fig5.txt 2>&1
+$B/exp_table8                                           > results/exp_table8.txt 2>&1
+$B/exp_fig6   --budget-ms 1600                          > results/exp_fig6.txt 2>&1
+$B/exp_trend  --budget-ms 1600                          > results/exp_trend.txt 2>&1
+$B/exp_warmstart --evals 18                             > results/exp_warmstart.txt 2>&1
+$B/exp_reduction --budget-ms 600                        > results/exp_reduction.txt 2>&1
+$B/exp_table5 --datasets 12 --budget-ms 300             > results/exp_table5.txt 2>&1
+$B/exp_fig7   --budget-ms 300                           > results/exp_fig7.txt 2>&1
+$B/exp_fig8   --budget-ms 2000                          > results/exp_fig8.txt 2>&1
+$B/exp_fig9   --budget-ms 2000                          > results/exp_fig9.txt 2>&1
+$B/exp_fig10  --datasets 12 --budget-ms 400             > results/exp_fig10.txt 2>&1
+$B/exp_fig11  --datasets 12 --budget-ms 400             > results/exp_fig11.txt 2>&1
+$B/exp_deep_probe --evals 100                           > results/exp_deep_probe.txt 2>&1
+$B/exp_table1 --datasets 12 --evals 120                 > results/exp_table1.txt 2>&1
+$B/exp_fig2   --evals 2800                              > results/exp_fig2.txt 2>&1
+$B/exp_table2 --evals 2800                              > results/exp_table2.txt 2>&1
+$B/exp_patterns --datasets all --budget-ms 400          > results/exp_patterns.txt 2>&1
+# table4_v2 deferred
+echo BATCH_DONE > results/BATCH_DONE

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # autofp — automated feature preprocessing for tabular data
+//!
+//! A from-scratch Rust implementation of the system studied in *"Auto-FP:
+//! An Experimental Study of Automated Feature Preprocessing for Tabular
+//! Data"* (EDBT 2024): seven scikit-learn-style feature preprocessors,
+//! pipeline search over them with 15 HPO/NAS-derived algorithms, three
+//! downstream classifier families, and the full benchmark harness.
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`preprocess::Pipeline`], [`core::Evaluator`], and
+//! [`search::make_searcher`]; `examples/quickstart.rs` walks through the
+//! whole flow.
+//!
+//! ```
+//! use autofp::data::SynthConfig;
+//! let dataset = SynthConfig::new("demo", 200, 8, 2, 42).generate();
+//! assert_eq!(dataset.n_rows(), 200);
+//! ```
+
+pub use autofp_automl as automl;
+pub use autofp_core as core;
+pub use autofp_data as data;
+pub use autofp_linalg as linalg;
+pub use autofp_metafeatures as metafeatures;
+pub use autofp_models as models;
+pub use autofp_preprocess as preprocess;
+pub use autofp_search as search;
+pub use autofp_surrogate as surrogate;

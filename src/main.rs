@@ -1,0 +1,254 @@
+//! `autofp` — command-line pipeline search on a CSV file.
+//!
+//! ```text
+//! autofp search --csv data.csv [--model lr|xgb|mlp] [--alg PBT] \
+//!        [--budget-ms 5000 | --evals 200] [--max-len 7] [--seed 42] \
+//!        [--space default|low|high]
+//! autofp algorithms            # list the 15 search algorithms
+//! autofp preprocessors         # list the 7 preprocessors
+//! ```
+//!
+//! The CSV format is: optional header, numeric feature columns, label in
+//! the last column (integers or strings).
+
+use autofp::automl::MetaStore;
+use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp::data::csv::read_csv_file;
+use autofp::metafeatures::{extract, ExtractConfig};
+use autofp::models::classifier::ModelKind;
+use autofp::preprocess::{ParamSpace, PreprocKind};
+use autofp::search::{make_searcher, AlgName};
+use std::process::exit;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("search") => cmd_search(&args[1..]),
+        Some("algorithms") => cmd_algorithms(),
+        Some("preprocessors") => cmd_preprocessors(),
+        Some("help") | Some("--help") | Some("-h") | None => usage(0),
+        Some(other) => {
+            eprintln!("unknown command: {other}\n");
+            usage(2);
+        }
+    }
+}
+
+fn usage(code: i32) -> ! {
+    println!(
+        "autofp — automated feature preprocessing for tabular data\n\
+         \n\
+         USAGE:\n\
+         \u{20}  autofp search --csv FILE [options]   search the best pipeline for a CSV\n\
+         \u{20}  autofp algorithms                    list the 15 search algorithms\n\
+         \u{20}  autofp preprocessors                 list the 7 preprocessors\n\
+         \n\
+         SEARCH OPTIONS:\n\
+         \u{20}  --csv FILE          CSV with numeric features, label last (required)\n\
+         \u{20}  --model lr|xgb|mlp  downstream model family      [default: lr]\n\
+         \u{20}  --alg NAME          search algorithm (see `autofp algorithms`) [default: PBT]\n\
+         \u{20}  --budget-ms MS      wall-clock budget            [default: 5000]\n\
+         \u{20}  --evals N           evaluation-count budget (overrides --budget-ms)\n\
+         \u{20}  --max-len N         maximum pipeline length      [default: 7]\n\
+         \u{20}  --space default|low|high   parameter search space [default: default]\n\
+         \u{20}  --seed N            random seed                  [default: 42]\n\
+         \u{20}  --no-header         the CSV has no header row\n\
+         \u{20}  --meta              also print the 40 dataset meta-features"
+    );
+    exit(code)
+}
+
+struct SearchArgs {
+    csv: String,
+    model: ModelKind,
+    alg: AlgName,
+    budget: Budget,
+    max_len: usize,
+    seed: u64,
+    space: &'static str,
+    header: bool,
+    meta: bool,
+}
+
+fn parse_search_args(args: &[String]) -> SearchArgs {
+    let mut out = SearchArgs {
+        csv: String::new(),
+        model: ModelKind::Lr,
+        alg: AlgName::Pbt,
+        budget: Budget::wall_clock(Duration::from_millis(5000)),
+        max_len: 7,
+        seed: 42,
+        space: "default",
+        header: true,
+        meta: false,
+    };
+    let mut i = 0;
+    let bail = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n");
+        usage(2)
+    };
+    while i < args.len() {
+        let key = args[i].as_str();
+        let val = || -> &str {
+            args.get(i + 1).map(String::as_str).unwrap_or_else(|| bail(&format!("{key} needs a value")))
+        };
+        match key {
+            "--csv" => {
+                out.csv = val().to_string();
+                i += 2;
+            }
+            "--model" => {
+                out.model = match val().to_ascii_lowercase().as_str() {
+                    "lr" => ModelKind::Lr,
+                    "xgb" => ModelKind::Xgb,
+                    "mlp" => ModelKind::Mlp,
+                    other => bail(&format!("unknown model '{other}'")),
+                };
+                i += 2;
+            }
+            "--alg" => {
+                out.alg = AlgName::parse(val())
+                    .unwrap_or_else(|| bail(&format!("unknown algorithm '{}'", val())));
+                i += 2;
+            }
+            "--budget-ms" => {
+                let ms: u64 = val().parse().unwrap_or_else(|_| bail("--budget-ms needs an integer"));
+                out.budget = Budget::wall_clock(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--evals" => {
+                let n: usize = val().parse().unwrap_or_else(|_| bail("--evals needs an integer"));
+                out.budget = Budget::evals(n);
+                i += 2;
+            }
+            "--max-len" => {
+                out.max_len = val().parse().unwrap_or_else(|_| bail("--max-len needs an integer"));
+                i += 2;
+            }
+            "--seed" => {
+                out.seed = val().parse().unwrap_or_else(|_| bail("--seed needs an integer"));
+                i += 2;
+            }
+            "--space" => {
+                out.space = match val() {
+                    "default" => "default",
+                    "low" => "low",
+                    "high" => "high",
+                    other => bail(&format!("unknown space '{other}' (default|low|high)")),
+                };
+                i += 2;
+            }
+            "--no-header" => {
+                out.header = false;
+                i += 1;
+            }
+            "--meta" => {
+                out.meta = true;
+                i += 1;
+            }
+            other => bail(&format!("unknown option '{other}'")),
+        }
+    }
+    if out.csv.is_empty() {
+        bail("--csv is required");
+    }
+    out
+}
+
+fn cmd_search(args: &[String]) {
+    let a = parse_search_args(args);
+    let dataset = match if a.header {
+        read_csv_file(&a.csv)
+    } else {
+        std::fs::read_to_string(&a.csv)
+            .map_err(std::convert::identity)
+            .and_then(|text| {
+                autofp::data::csv::parse_csv("csv", &text, false)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            })
+    } {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", a.csv);
+            exit(1);
+        }
+    };
+    println!(
+        "dataset: {} rows x {} cols, {} classes",
+        dataset.n_rows(),
+        dataset.n_cols(),
+        dataset.n_classes
+    );
+    if a.meta {
+        let mf = extract(&dataset, &ExtractConfig { seed: a.seed, ..Default::default() });
+        println!("\nmeta-features:");
+        for (name, value) in autofp::metafeatures::NAMES.iter().zip(mf.as_slice()) {
+            println!("  {name:<45} {value:.4}");
+        }
+        println!();
+        let _ = MetaStore::new(); // reserved for a future --warm-store flag
+    }
+
+    let space = match a.space {
+        "low" => ParamSpace::low_cardinality(),
+        "high" => ParamSpace::high_cardinality(),
+        _ => ParamSpace::default_space(),
+    };
+    let evaluator = Evaluator::new(
+        &dataset,
+        EvalConfig { model: a.model, train_fraction: 0.8, seed: a.seed, train_subsample: None },
+    );
+    println!("model: {}   algorithm: {}   space: {}", a.model, a.alg, space.name());
+    println!("no-FP baseline accuracy: {:.4}", evaluator.baseline_accuracy());
+
+    let mut searcher = make_searcher(a.alg, space, a.max_len, a.seed);
+    let outcome = run_search(searcher.as_mut(), &evaluator, a.budget);
+    match outcome.best() {
+        None => {
+            eprintln!("budget too small: no pipeline was evaluated");
+            exit(1);
+        }
+        Some(best) => {
+            println!("\nevaluated {} pipelines in {:?}", outcome.history.len(), outcome.elapsed);
+            let (pick, prep, train) = outcome.breakdown.percentages();
+            println!("time breakdown: Pick {pick:.0}% | Prep {prep:.0}% | Train {train:.0}%");
+            println!("\nbest pipeline:  {}", best.pipeline);
+            println!("best accuracy:  {:.4}", best.accuracy);
+            println!(
+                "improvement:    {:+.2} percentage points over no-FP",
+                (best.accuracy - evaluator.baseline_accuracy()) * 100.0
+            );
+        }
+    }
+}
+
+fn cmd_algorithms() {
+    println!("The 15 Auto-FP search algorithms (paper Table 3):\n");
+    println!("{:<11} {:<23} {}", "NAME", "CATEGORY", "NOTES");
+    for alg in AlgName::ALL {
+        let notes = match alg {
+            AlgName::Pbt => "best overall average ranking in the paper",
+            AlgName::Rs => "strong baseline",
+            AlgName::Hyperband | AlgName::Bohb => "bandit: partial-training rungs",
+            _ => "",
+        };
+        println!("{:<11} {:<23} {}", alg.as_str(), alg.category(), notes);
+    }
+}
+
+fn cmd_preprocessors() {
+    println!("The 7 feature preprocessors (paper §2.1):\n");
+    for kind in PreprocKind::ALL {
+        let what = match kind {
+            PreprocKind::Binarizer => "threshold values to {0, 1}",
+            PreprocKind::MaxAbsScaler => "scale each column by max |value|",
+            PreprocKind::MinMaxScaler => "scale each column to [0, 1]",
+            PreprocKind::Normalizer => "scale each row to unit norm",
+            PreprocKind::PowerTransformer => "Yeo-Johnson transform toward normality",
+            PreprocKind::QuantileTransformer => "map columns onto empirical quantiles",
+            PreprocKind::StandardScaler => "zero-mean, unit-variance standardization",
+        };
+        println!("  {:<21} {}", kind.name(), what);
+    }
+}

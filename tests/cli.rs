@@ -1,0 +1,116 @@
+//! Integration tests of the `autofp` command-line binary.
+
+use std::process::Command;
+
+fn autofp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autofp"))
+}
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = autofp().args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("autofp search"));
+    assert!(stdout.contains("--budget-ms"));
+}
+
+#[test]
+fn algorithms_lists_all_fifteen() {
+    let (stdout, _, ok) = run(&["algorithms"]);
+    assert!(ok);
+    for name in ["RS", "PBT", "TEVO_H", "BOHB", "PMNE", "ENAS"] {
+        assert!(stdout.contains(name), "missing {name}:\n{stdout}");
+    }
+}
+
+#[test]
+fn preprocessors_lists_all_seven() {
+    let (stdout, _, ok) = run(&["preprocessors"]);
+    assert!(ok);
+    for name in [
+        "Binarizer",
+        "MaxAbsScaler",
+        "MinMaxScaler",
+        "Normalizer",
+        "PowerTransformer",
+        "QuantileTransformer",
+        "StandardScaler",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn search_on_a_csv_end_to_end() {
+    // Build a learnable CSV: label = (feature > 50).
+    let mut csv = String::from("f0,f1,label\n");
+    for i in 0..60 {
+        csv.push_str(&format!("{},{},{}\n", i, i * 1000, usize::from(i > 30)));
+    }
+    let path = std::env::temp_dir().join("autofp_cli_it.csv");
+    std::fs::write(&path, csv).unwrap();
+
+    let (stdout, stderr, ok) = run(&[
+        "search",
+        "--csv",
+        path.to_str().unwrap(),
+        "--evals",
+        "12",
+        "--alg",
+        "TEVO_H",
+        "--max-len",
+        "3",
+        "--seed",
+        "1",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("best pipeline:"), "{stdout}");
+    assert!(stdout.contains("dataset: 60 rows x 2 cols, 2 classes"), "{stdout}");
+    assert!(stdout.contains("evaluated 12 pipelines"), "{stdout}");
+}
+
+#[test]
+fn unknown_algorithm_fails_cleanly() {
+    let (_, stderr, ok) = run(&["search", "--csv", "x.csv", "--alg", "NOPE"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+}
+
+#[test]
+fn missing_csv_fails_cleanly() {
+    let (_, stderr, ok) = run(&["search", "--csv", "/definitely/not/here.csv", "--evals", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn meta_flag_prints_forty_features() {
+    let mut csv = String::from("a,b,c,label\n");
+    for i in 0..40 {
+        csv.push_str(&format!("{},{},{},{}\n", i, i % 7, i % 3, i % 2));
+    }
+    let path = std::env::temp_dir().join("autofp_cli_meta.csv");
+    std::fs::write(&path, csv).unwrap();
+    let (stdout, _, ok) = run(&[
+        "search",
+        "--csv",
+        path.to_str().unwrap(),
+        "--evals",
+        "2",
+        "--meta",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("SkewnessMean"));
+    assert!(stdout.contains("Landmark1NN"));
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration tests: the full Auto-FP flow from dataset
+//! generation through search to ranked results.
+
+use autofp::automl::{HpoSearch, TpotFp};
+use autofp::core::ranking::{average_rankings, Scenario, IMPROVEMENT_THRESHOLD};
+use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp::data::{spec_by_name, Personality, SynthConfig};
+use autofp::models::classifier::ModelKind;
+use autofp::preprocess::{ParamSpace, PreprocKind};
+use autofp::search::{make_searcher, AlgName, Pbt, RandomSearch};
+
+fn needs_fp_dataset() -> autofp::data::Dataset {
+    SynthConfig::new("e2e", 400, 8, 2, 17)
+        .with_personality(Personality {
+            scale_spread: 6.0,
+            skew: 0.6,
+            heavy_tail: 0.3,
+            class_sep: 1.5,
+            label_noise: 0.03,
+            ..Personality::default()
+        })
+        .generate()
+}
+
+#[test]
+fn search_beats_no_fp_baseline_on_scale_spread_data() {
+    let dataset = needs_fp_dataset();
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    let mut rs = RandomSearch::new(ParamSpace::default_space(), 4, 3);
+    let outcome = run_search(&mut rs, &evaluator, Budget::evals(25));
+    assert!(
+        outcome.best_accuracy() > evaluator.baseline_accuracy() + 0.02,
+        "best {} vs baseline {}",
+        outcome.best_accuracy(),
+        evaluator.baseline_accuracy()
+    );
+}
+
+#[test]
+fn all_fifteen_algorithms_complete_on_registry_dataset() {
+    let dataset = spec_by_name("heart").expect("registry").generate(0.5);
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    for alg in AlgName::ALL {
+        let mut searcher = make_searcher(alg, ParamSpace::default_space(), 4, 5);
+        let outcome = run_search(searcher.as_mut(), &evaluator, Budget::evals(10));
+        assert!(!outcome.history.is_empty(), "{alg} evaluated nothing");
+        assert!(
+            outcome.best_accuracy() >= dataset.majority_accuracy() * 0.5,
+            "{alg} produced nonsense accuracy {}",
+            outcome.best_accuracy()
+        );
+        for t in outcome.history.trials() {
+            assert!(t.pipeline.len() <= 4, "{alg} exceeded max_len: {}", t.pipeline);
+            assert!((0.0..=1.0).contains(&t.accuracy));
+        }
+    }
+}
+
+#[test]
+fn whole_flow_is_deterministic_per_seed() {
+    let dataset = needs_fp_dataset();
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    for alg in [AlgName::Rs, AlgName::Pbt, AlgName::Tpe, AlgName::Smac, AlgName::Enas] {
+        let run = |seed| {
+            let mut s = make_searcher(alg, ParamSpace::default_space(), 4, seed);
+            let out = run_search(s.as_mut(), &evaluator, Budget::evals(8));
+            (out.best_accuracy(), out.best().map(|t| t.pipeline.key()))
+        };
+        assert_eq!(run(42), run(42), "{alg} is not deterministic");
+        // Different seeds generally explore differently (not asserted
+        // strictly — spaces are small enough for coincidences).
+    }
+}
+
+#[test]
+fn ranking_pipeline_over_three_algorithms() {
+    let dataset = needs_fp_dataset();
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    let algs = [AlgName::Rs, AlgName::TevoH, AlgName::Reinforce];
+    let mut accs = Vec::new();
+    for alg in algs {
+        let mut s = make_searcher(alg, ParamSpace::default_space(), 4, 9);
+        accs.push(run_search(s.as_mut(), &evaluator, Budget::evals(12)).best_accuracy());
+    }
+    let scenario = Scenario {
+        label: "e2e/LR".into(),
+        baseline: evaluator.baseline_accuracy(),
+        accuracies: accs,
+    };
+    let (ranks, n) = average_rankings(&[scenario], IMPROVEMENT_THRESHOLD);
+    assert_eq!(n, 1);
+    assert_eq!(ranks.len(), 3);
+    // Ranks are a permutation-with-ties of 1..=3: sum is fixed at 6.
+    assert!((ranks.iter().sum::<f64>() - 6.0).abs() < 1e-9);
+}
+
+#[test]
+fn automl_context_comparison_runs() {
+    let dataset = needs_fp_dataset();
+    let evaluator =
+        Evaluator::new(&dataset, EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: 0, train_subsample: None });
+    let mut pbt = Pbt::new(ParamSpace::default_space(), 5, 1);
+    let auto_fp = run_search(&mut pbt, &evaluator, Budget::evals(20)).best_accuracy();
+    let mut tpot = TpotFp::new(1);
+    let tpot_fp = run_search(&mut tpot, &evaluator, Budget::evals(20)).best_accuracy();
+    let hpo = HpoSearch::new(ModelKind::Lr, 1).run(evaluator.split(), Budget::evals(5));
+    assert!(auto_fp > 0.0 && tpot_fp > 0.0 && hpo.best_accuracy > 0.0);
+    // Auto-FP searches a strictly larger space than TPOT-FP; with equal
+    // budgets it should not lose by much on data that rewards the extra
+    // preprocessors.
+    assert!(auto_fp >= tpot_fp - 0.05, "auto_fp {auto_fp} vs tpot {tpot_fp}");
+}
+
+#[test]
+fn partial_budget_evaluations_only_from_bandits() {
+    let dataset = needs_fp_dataset();
+    let evaluator =
+        Evaluator::new(&dataset, EvalConfig { model: ModelKind::Xgb, train_fraction: 0.8, seed: 0, train_subsample: None });
+    for alg in [AlgName::Rs, AlgName::Pbt, AlgName::Tpe] {
+        let mut s = make_searcher(alg, ParamSpace::default_space(), 4, 2);
+        let out = run_search(s.as_mut(), &evaluator, Budget::evals(10));
+        assert!(
+            out.history.trials().iter().all(|t| t.train_fraction >= 1.0 - 1e-9),
+            "{alg} used partial budgets"
+        );
+    }
+    let mut hb = make_searcher(AlgName::Hyperband, ParamSpace::default_space(), 4, 2);
+    let out = run_search(hb.as_mut(), &evaluator, Budget::evals(30));
+    assert!(
+        out.history.trials().iter().any(|t| t.train_fraction < 1.0),
+        "Hyperband never used a partial budget"
+    );
+}
+
+#[test]
+fn evolution_tends_to_beat_reinforce_under_wall_clock() {
+    // A light-weight version of the paper's central ranking claim: with a
+    // small wall-clock budget on FP-sensitive data, TEVO_H should do at
+    // least as well as REINFORCE most of the time. Summed over seeds to
+    // damp noise.
+    let dataset = needs_fp_dataset();
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    let mut tevo_total = 0.0;
+    let mut reinforce_total = 0.0;
+    for seed in 0..3 {
+        let mut tevo = make_searcher(AlgName::TevoH, ParamSpace::default_space(), 4, seed);
+        tevo_total += run_search(tevo.as_mut(), &evaluator, Budget::evals(20)).best_accuracy();
+        let mut r = make_searcher(AlgName::Reinforce, ParamSpace::default_space(), 4, seed);
+        reinforce_total +=
+            run_search(r.as_mut(), &evaluator, Budget::evals(20)).best_accuracy();
+    }
+    assert!(
+        tevo_total >= reinforce_total - 0.05,
+        "TEVO_H {tevo_total} vs REINFORCE {reinforce_total}"
+    );
+}
+
+#[test]
+fn preprocessors_compose_across_crates() {
+    // Build a pipeline through the facade and check the paper's P1/P2
+    // example compose differently end-to-end.
+    let dataset = needs_fp_dataset();
+    let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+    let p1 = autofp::preprocess::Pipeline::from_kinds(&[
+        PreprocKind::MinMaxScaler,
+        PreprocKind::PowerTransformer,
+    ]);
+    let p2 = autofp::preprocess::Pipeline::from_kinds(&[
+        PreprocKind::PowerTransformer,
+        PreprocKind::MinMaxScaler,
+        PreprocKind::Normalizer,
+    ]);
+    let t1 = evaluator.evaluate(&p1);
+    let t2 = evaluator.evaluate(&p2);
+    assert!(t1.accuracy > 0.0 && t2.accuracy > 0.0);
+}

@@ -1,0 +1,129 @@
+//! Failure-injection tests: the full search stack must stay finite and
+//! panic-free on pathological inputs — NaN/Inf cells, constant features,
+//! single-row classes, extreme magnitudes, and degenerate budgets.
+
+use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp::data::{Dataset, SynthConfig};
+use autofp::linalg::Matrix;
+use autofp::models::classifier::ModelKind;
+use autofp::preprocess::ParamSpace;
+use autofp::search::{make_searcher, AlgName};
+
+/// A dataset contaminated with NaN, Inf, constants and huge magnitudes.
+fn poisoned_dataset() -> Dataset {
+    let mut d = SynthConfig::new("poisoned", 120, 6, 2, 3).generate();
+    let rows = d.x.nrows();
+    // Column 0: some NaN; column 1: some Inf; column 2: constant;
+    // column 3: huge magnitudes.
+    for i in (0..rows).step_by(7) {
+        d.x.set(i, 0, f64::NAN);
+    }
+    for i in (0..rows).step_by(11) {
+        d.x.set(i, 1, if i % 2 == 0 { f64::INFINITY } else { f64::NEG_INFINITY });
+    }
+    for i in 0..rows {
+        d.x.set(i, 2, 42.0);
+        let v = d.x.get(i, 3);
+        d.x.set(i, 3, v * 1e250);
+    }
+    d
+}
+
+#[test]
+fn search_survives_poisoned_data_on_all_models() {
+    let d = poisoned_dataset();
+    for model in ModelKind::ALL {
+        let ev = Evaluator::new(&d, EvalConfig { model, ..Default::default() });
+        let mut s = make_searcher(AlgName::Rs, ParamSpace::default_space(), 4, 1);
+        let out = run_search(s.as_mut(), &ev, Budget::evals(8));
+        assert_eq!(out.history.len(), 8, "{model}");
+        for t in out.history.trials() {
+            assert!(t.accuracy.is_finite(), "{model} produced non-finite accuracy");
+        }
+    }
+}
+
+#[test]
+fn every_algorithm_survives_poisoned_data() {
+    let d = poisoned_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    for alg in AlgName::ALL {
+        let mut s = make_searcher(alg, ParamSpace::default_space(), 3, 5);
+        let out = run_search(s.as_mut(), &ev, Budget::evals(6));
+        assert!(!out.history.is_empty(), "{alg}");
+    }
+}
+
+#[test]
+fn all_constant_features_fall_back_to_majority() {
+    let x = Matrix::filled(60, 4, 3.0);
+    let y: Vec<usize> = (0..60).map(|i| usize::from(i % 3 == 0)).collect();
+    let d = Dataset::new("const", x, y, 2);
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    // Majority class is 2/3 of rows; baseline must be at least close to it.
+    assert!(ev.baseline_accuracy() >= 0.5);
+    let mut s = make_searcher(AlgName::Pbt, ParamSpace::default_space(), 3, 1);
+    let out = run_search(s.as_mut(), &ev, Budget::evals(10));
+    assert!(out.best_accuracy() >= 0.5);
+}
+
+#[test]
+fn single_example_class_does_not_break_split_or_search() {
+    let mut rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * 3 % 7) as f64]).collect();
+    rows.push(vec![999.0, 999.0]);
+    let mut y: Vec<usize> = (0..50).map(|i| i % 2).collect();
+    y.push(2); // a class with exactly one example
+    let d = Dataset::new("rare-class", Matrix::from_rows(&rows), y, 3);
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let mut s = make_searcher(AlgName::TevoY, ParamSpace::default_space(), 3, 2);
+    let out = run_search(s.as_mut(), &ev, Budget::evals(8));
+    assert_eq!(out.history.len(), 8);
+}
+
+#[test]
+fn two_row_dataset_is_survivable() {
+    let d = Dataset::new(
+        "tiny",
+        Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+        vec![0, 1],
+        2,
+    );
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let mut s = make_searcher(AlgName::Rs, ParamSpace::default_space(), 3, 1);
+    let out = run_search(s.as_mut(), &ev, Budget::evals(5));
+    assert_eq!(out.history.len(), 5);
+}
+
+#[test]
+fn zero_budget_yields_empty_outcome() {
+    let d = SynthConfig::new("zb", 50, 3, 2, 1).generate();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    for alg in [AlgName::Rs, AlgName::Pbt, AlgName::Hyperband, AlgName::Smac] {
+        let mut s = make_searcher(alg, ParamSpace::default_space(), 3, 1);
+        let out = run_search(s.as_mut(), &ev, Budget::evals(0));
+        assert!(out.history.is_empty(), "{alg} evaluated under zero budget");
+        assert_eq!(out.best_accuracy(), 0.0);
+    }
+}
+
+#[test]
+fn single_feature_dataset_works_end_to_end() {
+    let d = SynthConfig::new("one-col", 100, 1, 2, 9).generate();
+    let ev = Evaluator::new(&d, EvalConfig { model: ModelKind::Xgb, ..Default::default() });
+    let mut s = make_searcher(AlgName::TevoH, ParamSpace::default_space(), 4, 3);
+    let out = run_search(s.as_mut(), &ev, Budget::evals(10));
+    assert_eq!(out.history.len(), 10);
+    assert!(out.best_accuracy() > 0.0);
+}
+
+#[test]
+fn extended_spaces_survive_poisoned_data() {
+    let d = poisoned_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let mut one = autofp::search::OneStep::new(ParamSpace::high_cardinality(), 4, 7);
+    let out = run_search(&mut one, &ev, Budget::evals(6));
+    assert_eq!(out.history.len(), 6);
+    let mut two = autofp::search::TwoStep::new(ParamSpace::low_cardinality(), 4, 7);
+    let out = run_search(&mut two, &ev, Budget::evals(6));
+    assert_eq!(out.history.len(), 6);
+}

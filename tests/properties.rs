@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) on the core invariants: preprocessor
+//! output ranges, pipeline totality, mutation bounds, metric ranges and
+//! rank consistency — over arbitrary (finite) data.
+
+use autofp::linalg::stats::average_ranks;
+use autofp::linalg::Matrix;
+use autofp::models::metrics::{accuracy, auc_binary};
+use autofp::preprocess::{ParamSpace, Pipeline, Preproc, PreprocKind};
+use proptest::prelude::*;
+
+/// Generator: a small matrix of finite floats in a bounded range.
+fn small_matrix() -> impl Strategy<Value = Matrix> {
+    (2usize..12, 1usize..6).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-1e6f64..1e6, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+/// Generator: a pipeline of up to 4 default-parameter steps.
+fn small_pipeline() -> impl Strategy<Value = Pipeline> {
+    proptest::collection::vec(0usize..7, 1..5)
+        .prop_map(|kinds| Pipeline::from_kinds(&kinds.iter().map(|&k| PreprocKind::from_index(k)).collect::<Vec<_>>()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_pipeline_on_any_data_stays_finite(x in small_matrix(), p in small_pipeline()) {
+        let (fitted, train_out) = p.fit_transform(&x);
+        prop_assert!(train_out.is_finite(), "train output not finite for {p}");
+        prop_assert_eq!(train_out.shape(), x.shape());
+        // Transforming fresh data through the fitted chain also stays finite.
+        let mut other = x.clone();
+        other.map_inplace(|v| v * 0.5 + 1.0);
+        fitted.transform(&mut other);
+        prop_assert!(other.is_finite(), "valid output not finite for {p}");
+    }
+
+    #[test]
+    fn minmax_maps_training_data_into_unit_interval(x in small_matrix()) {
+        let mut m = x.clone();
+        Preproc::MinMaxScaler.fit(&x).transform(&mut m);
+        for &v in m.as_slice() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "minmax value {v}");
+        }
+    }
+
+    #[test]
+    fn maxabs_maps_training_data_into_unit_ball(x in small_matrix()) {
+        let mut m = x.clone();
+        Preproc::MaxAbsScaler.fit(&x).transform(&mut m);
+        for &v in m.as_slice() {
+            prop_assert!(v.abs() <= 1.0 + 1e-9, "maxabs value {v}");
+        }
+    }
+
+    #[test]
+    fn binarizer_outputs_zero_or_one(x in small_matrix(), threshold in -10.0f64..10.0) {
+        let mut m = x.clone();
+        Preproc::Binarizer { threshold }.fit(&x).transform(&mut m);
+        for &v in m.as_slice() {
+            prop_assert!(v == 0.0 || v == 1.0);
+        }
+    }
+
+    #[test]
+    fn normalizer_rows_have_unit_norm_or_zero(x in small_matrix()) {
+        let mut m = x.clone();
+        Preproc::default_for(PreprocKind::Normalizer).fit(&x).transform(&mut m);
+        for row in m.rows_iter() {
+            let n = autofp::linalg::matrix::norm_l2(row);
+            prop_assert!(n < 1e-9 || (n - 1.0).abs() < 1e-9, "row norm {n}");
+        }
+    }
+
+    #[test]
+    fn quantile_uniform_output_in_unit_interval(x in small_matrix()) {
+        let mut m = x.clone();
+        Preproc::default_for(PreprocKind::QuantileTransformer).fit(&x).transform(&mut m);
+        for &v in m.as_slice() {
+            prop_assert!((0.0..=1.0).contains(&v), "quantile value {v}");
+        }
+    }
+
+    #[test]
+    fn standard_scaler_train_columns_are_standardized(x in small_matrix()) {
+        let mut m = x.clone();
+        Preproc::StandardScaler { with_mean: true }.fit(&x).transform(&mut m);
+        for j in 0..m.ncols() {
+            let col = m.col(j);
+            let mean = autofp::linalg::stats::mean(&col);
+            let std = autofp::linalg::stats::std_dev(&col);
+            prop_assert!(mean.abs() < 1e-6, "col mean {mean}");
+            // Constant columns keep std 0; others become ~1.
+            prop_assert!(std < 1e-9 || (std - 1.0).abs() < 1e-6, "col std {std}");
+        }
+    }
+
+    #[test]
+    fn power_transform_is_monotone_per_column(x in small_matrix()) {
+        let fitted = Preproc::PowerTransformer { standardize: false }.fit(&x);
+        let mut m = x.clone();
+        fitted.transform(&mut m);
+        for j in 0..x.ncols() {
+            let orig = x.col(j);
+            let out = m.col(j);
+            let mut pairs: Vec<(f64, f64)> = orig.into_iter().zip(out).collect();
+            pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in pairs.windows(2) {
+                prop_assert!(w[1].1 >= w[0].1 - 1e-9, "non-monotone in column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_preserves_length_bounds(
+        kinds in proptest::collection::vec(0usize..7, 1..7),
+        seed in 0u64..1000,
+    ) {
+        let p = Pipeline::from_kinds(
+            &kinds.iter().map(|&k| PreprocKind::from_index(k)).collect::<Vec<_>>(),
+        );
+        let space = ParamSpace::default_space();
+        let mut rng = autofp::linalg::rng::rng_from_seed(seed);
+        let m = autofp::search::mutation::mutate(&p, &space, 7, &mut rng);
+        prop_assert!(!m.is_empty() && m.len() <= 7);
+    }
+
+    #[test]
+    fn accuracy_is_bounded_and_complements_error(
+        labels in proptest::collection::vec(0usize..3, 1..40),
+        preds in proptest::collection::vec(0usize..3, 1..40),
+    ) {
+        let n = labels.len().min(preds.len());
+        let acc = accuracy(&labels[..n], &preds[..n]);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let err = autofp::models::metrics::error_rate(&labels[..n], &preds[..n]);
+        prop_assert!((acc + err - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_invariant_to_monotone_score_transforms(
+        labels in proptest::collection::vec(0usize..2, 4..30),
+        scores in proptest::collection::vec(-100.0f64..100.0, 4..30),
+    ) {
+        let n = labels.len().min(scores.len());
+        let a1 = auc_binary(&labels[..n], &scores[..n]);
+        let transformed: Vec<f64> = scores[..n].iter().map(|s| s.exp().min(1e300)).collect();
+        let a2 = auc_binary(&labels[..n], &transformed);
+        prop_assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant(values in proptest::collection::vec(-10.0f64..10.0, 1..20)) {
+        let ranks = average_ranks(&values);
+        let n = values.len() as f64;
+        let expected = n * (n + 1.0) / 2.0;
+        prop_assert!((ranks.iter().sum::<f64>() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_encoding_width_is_stable(p in small_pipeline(), max_len in 4usize..9) {
+        let e = autofp::preprocess::encoding::encode_pipeline(&p, max_len);
+        prop_assert_eq!(e.len(), autofp::preprocess::encoding::encoding_width(max_len));
+        prop_assert!(e.iter().all(|v| v.is_finite()));
+    }
+}
