@@ -12,6 +12,20 @@
 //!   single-preprocessor pipelines.
 //! * [`hpo::HpoSearch`] — an HPO module searching each downstream
 //!   model's hyperparameter space with the preprocessing disabled.
+//!
+//! Module-to-paper map:
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`tpot`] | §7.1 Auto-FP vs. AutoML FP modules (Table 8) |
+//! | [`hpo`] | §7.2 FP vs. hyperparameter optimization |
+//! | [`warmstart`] | §8 warm-starting search from meta-learned pipelines |
+//!
+//! [`tpot::TpotFp`] evaluates each GP generation through
+//! [`autofp_core::SearchContext::evaluate_batch`]: children are bred
+//! from the previous generation's fitness only, so a whole brood
+//! evaluates in parallel (and re-proposed children hit an attached
+//! [`autofp_core::EvalCache`]).
 
 pub mod hpo;
 pub mod tpot;

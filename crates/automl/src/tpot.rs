@@ -107,22 +107,28 @@ impl Searcher for TpotFp {
     }
 
     fn search(&mut self, ctx: &mut SearchContext) {
-        // Initial population.
-        let mut population: Vec<(Pipeline, f64)> = Vec::with_capacity(self.population_size);
-        for _ in 0..self.population_size {
-            let p = self.random_pipeline();
-            let Some(t) = ctx.evaluate(&p) else { return };
-            population.push((p, t.accuracy));
+        // Initial population: independent random draws, evaluated as one
+        // parallel batch.
+        let init: Vec<Pipeline> =
+            (0..self.population_size).map(|_| self.random_pipeline()).collect();
+        let Some(trials) = ctx.evaluate_batch(&init) else { return };
+        if trials.len() < init.len() {
+            return; // budget tripped before a full population
         }
+        let mut population: Vec<(Pipeline, f64)> =
+            init.into_iter().zip(trials.iter().map(|t| t.accuracy)).collect();
 
         loop {
             if ctx.exhausted() {
                 return;
             }
-            // Breed the next generation (elitism: keep the best).
+            // Breed the next generation (elitism: keep the best). Every
+            // child is bred from the *previous* generation's fitness, so
+            // the whole brood is proposed first and evaluated as one
+            // batch — GP's classic generation-level parallelism.
             population.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN"));
-            let mut next: Vec<(Pipeline, f64)> = vec![population[0].clone()];
-            while next.len() < self.population_size {
+            let mut brood: Vec<Pipeline> = Vec::with_capacity(self.population_size - 1);
+            while brood.len() + 1 < self.population_size {
                 // Tournament selection of two parents.
                 let pick = |rng: &mut StdRng, pop: &[(Pipeline, f64)], k: usize| {
                     let mut best: Option<(f64, Pipeline)> = None;
@@ -144,10 +150,16 @@ impl Searcher for TpotFp {
                 if self.rng.gen::<f64>() < self.mutation_prob {
                     child = self.mutate(&child);
                 }
-                let Some(t) = ctx.evaluate(&child) else { return };
-                next.push((child, t.accuracy));
+                brood.push(child);
             }
+            let Some(trials) = ctx.evaluate_batch(&brood) else { return };
+            let complete = trials.len() == brood.len();
+            let mut next: Vec<(Pipeline, f64)> = vec![population[0].clone()];
+            next.extend(brood.into_iter().zip(trials.iter().map(|t| t.accuracy)));
             population = next;
+            if !complete {
+                return; // budget tripped mid-generation
+            }
         }
     }
 }
@@ -164,15 +176,12 @@ impl Searcher for AutoSklearnFp {
     }
 
     fn search(&mut self, ctx: &mut SearchContext) {
-        if ctx.evaluate(&Pipeline::empty()).is_none() {
-            return;
-        }
-        for kind in TPOT_PREPROCESSORS {
-            if ctx.evaluate(&Pipeline::from_kinds(&[kind])).is_none() {
-                return;
-            }
-        }
-        // Space exhausted; nothing more a single-preprocessor module can try.
+        // The whole six-option space is fixed up front — evaluate it as
+        // one parallel batch. Space exhausted afterwards; nothing more a
+        // single-preprocessor module can try.
+        let mut options = vec![Pipeline::empty()];
+        options.extend(TPOT_PREPROCESSORS.iter().map(|&k| Pipeline::from_kinds(&[k])));
+        ctx.evaluate_batch(&options);
     }
 }
 

@@ -1,0 +1,323 @@
+//! Parallel batch evaluation (§5 extension).
+//!
+//! The paper's Figure 6-7 bottleneck analysis shows evaluation (Prep +
+//! Train) dwarfs algorithm overhead (Pick), so the straightest path to
+//! "fast as the hardware allows" is evaluating *many candidate
+//! pipelines at once*. A [`BatchEvaluator`] fans a slice of pipelines
+//! out across a scoped worker pool ([`std::thread::scope`]; the
+//! [`crate::Evaluator`] is `Send + Sync`, so workers share it by
+//! reference), preserving:
+//!
+//! * **deterministic result ordering** — `results[i]` is always the
+//!   trial of `pipelines[i]`, whatever order workers finish in;
+//! * **per-trial timing** — each worker measures its own trial's Prep
+//!   and Train phases exactly as the sequential path does;
+//! * **bit-identical accuracies** — trials are independent and the
+//!   evaluator is deterministic, so thread count never changes results.
+//!
+//! With [`BatchEvaluator::with_cache`], duplicate proposals — both
+//! repeats across batches and duplicates *within* one batch — are
+//! satisfied by a single evaluation through an [`EvalCache`].
+//!
+//! ```
+//! use autofp_core::{BatchEvaluator, EvalConfig, Evaluator};
+//! use autofp_data::SynthConfig;
+//! use autofp_preprocess::{Pipeline, PreprocKind};
+//!
+//! let dataset = SynthConfig::new("batch-doc", 120, 5, 2, 3).generate();
+//! let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+//! let pipelines = vec![
+//!     Pipeline::empty(),
+//!     Pipeline::from_kinds(&[PreprocKind::StandardScaler]),
+//!     Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]),
+//! ];
+//!
+//! let batch = BatchEvaluator::new(&evaluator).with_threads(2);
+//! let trials = batch.evaluate_batch(&pipelines);
+//! assert_eq!(trials.len(), 3);
+//! // results[i] corresponds to pipelines[i], and matches sequential:
+//! let sequential = evaluator.evaluate(&pipelines[1]);
+//! assert_eq!(trials[1].accuracy, sequential.accuracy);
+//! ```
+
+use crate::cache::{CacheKey, EvalCache};
+use crate::evaluator::Evaluator;
+use crate::history::Trial;
+use autofp_preprocess::Pipeline;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Evaluates batches of candidate pipelines on a worker pool, with
+/// optional pipeline-result caching.
+///
+/// Construct per search run (it is cheap: two words plus references);
+/// the worker pool is scoped to each `evaluate_batch*` call, so no
+/// threads linger between batches.
+pub struct BatchEvaluator<'a> {
+    evaluator: &'a Evaluator,
+    threads: usize,
+    cache: Option<&'a EvalCache>,
+}
+
+impl<'a> BatchEvaluator<'a> {
+    /// A batch evaluator over `evaluator`, defaulting to the machine's
+    /// available parallelism and no cache.
+    pub fn new(evaluator: &'a Evaluator) -> BatchEvaluator<'a> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        BatchEvaluator { evaluator, threads, cache: None }
+    }
+
+    /// Set the worker count (clamped to at least 1). One worker means
+    /// plain sequential evaluation on the calling thread.
+    pub fn with_threads(mut self, threads: usize) -> BatchEvaluator<'a> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Memoize results in (and serve duplicates from) `cache`.
+    pub fn with_cache(mut self, cache: &'a EvalCache) -> BatchEvaluator<'a> {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The underlying evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        self.evaluator
+    }
+
+    /// Evaluate every pipeline at full training budget. `results[i]`
+    /// is the trial of `pipelines[i]`.
+    pub fn evaluate_batch(&self, pipelines: &[Pipeline]) -> Vec<Trial> {
+        self.evaluate_batch_budgeted(pipelines, 1.0)
+    }
+
+    /// Evaluate every pipeline at a fractional training budget
+    /// (Hyperband rungs pass `fraction < 1`).
+    pub fn evaluate_batch_budgeted(&self, pipelines: &[Pipeline], fraction: f64) -> Vec<Trial> {
+        match self.cache {
+            Some(cache) => self.run_cached(pipelines, fraction, cache),
+            None => {
+                let jobs: Vec<&Pipeline> = pipelines.iter().collect();
+                self.run_parallel(&jobs, fraction)
+            }
+        }
+    }
+
+    /// Cached path: resolve each slot to a memoized trial or a
+    /// deduplicated evaluation job, run the jobs in parallel, then fill
+    /// every slot in input order.
+    fn run_cached(
+        &self,
+        pipelines: &[Pipeline],
+        fraction: f64,
+        cache: &EvalCache,
+    ) -> Vec<Trial> {
+        let config = self.evaluator.config();
+        let keys: Vec<CacheKey> =
+            pipelines.iter().map(|p| CacheKey::new(p, fraction, config)).collect();
+
+        // Slot -> either a memoized trial or an index into the job list.
+        // Hits satisfied from earlier batches come back immediately;
+        // within-batch duplicates share one job and are counted as hits
+        // once the shared result exists (their saved time is the shared
+        // job's cost).
+        enum Slot {
+            Ready(Trial),
+            Job { job: usize, duplicate: bool },
+        }
+        let mut job_of_key: std::collections::HashMap<&str, usize> =
+            std::collections::HashMap::new();
+        let mut jobs: Vec<&Pipeline> = Vec::new();
+        let mut job_keys: Vec<&CacheKey> = Vec::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(pipelines.len());
+        for (p, key) in pipelines.iter().zip(&keys) {
+            if let Some(trial) = cache.peek(key) {
+                cache.note_hit(&trial);
+                slots.push(Slot::Ready(trial));
+            } else if let Some(&job) = job_of_key.get(key.canonical()) {
+                slots.push(Slot::Job { job, duplicate: true });
+            } else {
+                cache.note_miss();
+                let job = jobs.len();
+                job_of_key.insert(key.canonical(), job);
+                jobs.push(p);
+                job_keys.push(key);
+                slots.push(Slot::Job { job, duplicate: false });
+            }
+        }
+
+        let fresh = self.run_parallel(&jobs, fraction);
+        for (key, trial) in job_keys.iter().zip(&fresh) {
+            cache.insert(key, trial);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(t) => t,
+                Slot::Job { job, duplicate } => {
+                    if duplicate {
+                        cache.note_hit(&fresh[job]);
+                    }
+                    fresh[job].clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluate `jobs` across the worker pool; `results[i]` belongs to
+    /// `jobs[i]`.
+    fn run_parallel(&self, jobs: &[&Pipeline], fraction: f64) -> Vec<Trial> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(jobs.len());
+        if workers <= 1 {
+            return jobs
+                .iter()
+                .map(|p| self.evaluator.evaluate_budgeted(p, fraction))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Trial>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let trial = self.evaluator.evaluate_budgeted(jobs[i], fraction);
+                    *slots[i].lock().expect("result slot") = Some(trial);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("result slot").expect("worker filled every slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::EvalCache;
+    use crate::evaluator::EvalConfig;
+    use autofp_data::SynthConfig;
+    use autofp_linalg::rng::rng_from_seed;
+    use autofp_preprocess::{ParamSpace, PreprocKind};
+
+    fn evaluator() -> Evaluator {
+        let d = SynthConfig::new("batch-test", 150, 5, 2, 3).generate();
+        Evaluator::new(&d, EvalConfig::default())
+    }
+
+    fn random_batch(n: usize, seed: u64) -> Vec<Pipeline> {
+        let space = ParamSpace::default_space();
+        let mut rng = rng_from_seed(seed);
+        (0..n).map(|_| space.sample_pipeline(&mut rng, 4)).collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let ev = evaluator();
+        let batch = random_batch(24, 11);
+        let sequential: Vec<Trial> = batch.iter().map(|p| ev.evaluate(p)).collect();
+        for threads in [2, 4, 8] {
+            let parallel = BatchEvaluator::new(&ev).with_threads(threads).evaluate_batch(&batch);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.pipeline.key(), s.pipeline.key(), "ordering must be stable");
+                assert_eq!(
+                    p.accuracy.to_bits(),
+                    s.accuracy.to_bits(),
+                    "accuracy must be bit-identical at {threads} threads"
+                );
+                assert_eq!(p.train_fraction, s.train_fraction);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_is_plain_sequential() {
+        let ev = evaluator();
+        let batch = random_batch(5, 7);
+        let a = BatchEvaluator::new(&ev).with_threads(1).evaluate_batch(&batch);
+        let b: Vec<Trial> = batch.iter().map(|p| ev.evaluate(p)).collect();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ev = evaluator();
+        assert!(BatchEvaluator::new(&ev).evaluate_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn cache_dedups_within_and_across_batches() {
+        let ev = evaluator();
+        let cache = EvalCache::new();
+        let batch_eval = BatchEvaluator::new(&ev).with_threads(2).with_cache(&cache);
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let q = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+
+        // Within-batch duplicates: 4 slots, 2 unique.
+        let trials = batch_eval.evaluate_batch(&[p.clone(), q.clone(), p.clone(), p.clone()]);
+        assert_eq!(trials.len(), 4);
+        assert_eq!(trials[0].accuracy.to_bits(), trials[2].accuracy.to_bits());
+        assert_eq!(trials[0].accuracy.to_bits(), trials[3].accuracy.to_bits());
+        let s1 = cache.stats();
+        assert_eq!(s1.misses, 2, "two unique evaluations");
+        assert_eq!(s1.hits, 2, "two duplicate slots shared them");
+        assert_eq!(s1.entries, 2);
+
+        // Across batches: everything hits now.
+        let again = batch_eval.evaluate_batch(&[q.clone(), p.clone()]);
+        assert_eq!(again[1].accuracy.to_bits(), trials[0].accuracy.to_bits());
+        let s2 = cache.stats();
+        assert_eq!(s2.misses, 2);
+        assert_eq!(s2.hits, 4);
+        assert!(s2.hit_rate() > 0.6);
+        assert!(s2.saved > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_fresh_eval() {
+        let ev = evaluator();
+        let cache = EvalCache::new();
+        let batch_eval = BatchEvaluator::new(&ev).with_cache(&cache);
+        let p = Pipeline::from_kinds(&[PreprocKind::PowerTransformer, PreprocKind::Normalizer]);
+        let fresh = batch_eval.evaluate_batch(std::slice::from_ref(&p));
+        let hit = batch_eval.evaluate_batch(std::slice::from_ref(&p));
+        assert_eq!(fresh[0].accuracy.to_bits(), hit[0].accuracy.to_bits());
+        assert_eq!(fresh[0].error.to_bits(), hit[0].error.to_bits());
+        assert_eq!(fresh[0].prep_time, hit[0].prep_time);
+        assert_eq!(fresh[0].train_time, hit[0].train_time);
+        assert_eq!(fresh[0].train_fraction, hit[0].train_fraction);
+        assert_eq!(fresh[0].pipeline.key(), hit[0].pipeline.key());
+    }
+
+    #[test]
+    fn budgeted_fractions_are_cached_separately() {
+        let ev = evaluator();
+        let cache = EvalCache::new();
+        let batch_eval = BatchEvaluator::new(&ev).with_cache(&cache);
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        batch_eval.evaluate_batch_budgeted(std::slice::from_ref(&p), 0.25);
+        batch_eval.evaluate_batch_budgeted(std::slice::from_ref(&p), 1.0);
+        let s = cache.stats();
+        assert_eq!(s.misses, 2, "different fractions are different keys");
+        assert_eq!(s.entries, 2);
+    }
+}

@@ -81,6 +81,14 @@ impl BudgetClock {
         self.evals
     }
 
+    /// Evaluations left under the eval-count limit; `None` when only a
+    /// wall-clock limit is configured. Batch evaluation truncates
+    /// oversized batches to this, so a batch never overshoots an
+    /// eval-count budget.
+    pub fn remaining_evals(&self) -> Option<usize> {
+        self.budget.max_evals.map(|n| n.saturating_sub(self.evals))
+    }
+
     /// Elapsed wall-clock time.
     pub fn elapsed(&self) -> Duration {
         self.started.elapsed()
@@ -140,6 +148,20 @@ mod tests {
         clock.note_eval(1.0);
         clock.note_eval(1.0);
         assert_eq!(clock.remaining_fraction(), 0.0);
+    }
+
+    #[test]
+    fn remaining_evals_tracks_the_count_limit() {
+        let mut clock = Budget::evals(3).start();
+        assert_eq!(clock.remaining_evals(), Some(3));
+        clock.note_eval(1.0);
+        assert_eq!(clock.remaining_evals(), Some(2));
+        clock.note_eval(1.0);
+        clock.note_eval(1.0);
+        clock.note_eval(1.0); // over-counting saturates at zero
+        assert_eq!(clock.remaining_evals(), Some(0));
+        let wall = Budget::wall_clock(Duration::from_secs(1)).start();
+        assert_eq!(wall.remaining_evals(), None);
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Pipeline-result caching (§5 extension).
+//!
+//! The paper's bottleneck analysis (§5, Figures 6-7) shows that pipeline
+//! *evaluation* dominates Auto-FP runtime, and that search algorithms
+//! frequently re-propose duplicate pipelines (evolutionary mutation and
+//! crossover reproduce parents; TPE/SMAC resample high-density regions).
+//! An [`EvalCache`] memoizes finished [`Trial`]s keyed by a stable
+//! fingerprint of (pipeline, training-budget fraction, evaluator
+//! config), so a duplicate proposal returns its recorded trial instead
+//! of paying the full Prep + Train cost again.
+//!
+//! The cache is thread-safe (`&self` everywhere) so a
+//! [`crate::batch::BatchEvaluator`] can share it across workers, and it
+//! keeps hit / miss / saved-wall-clock counters that
+//! [`crate::report::cache_stats_markdown`] renders.
+//!
+//! ```
+//! use autofp_core::{EvalCache, EvalConfig, Evaluator};
+//! use autofp_data::SynthConfig;
+//! use autofp_preprocess::{Pipeline, PreprocKind};
+//!
+//! let dataset = SynthConfig::new("cache-doc", 120, 5, 2, 3).generate();
+//! let evaluator = Evaluator::new(&dataset, EvalConfig::default());
+//! let cache = EvalCache::new();
+//! let pipeline = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+//!
+//! let fresh = evaluator.evaluate_cached(&pipeline, 1.0, &cache); // miss: evaluates
+//! let hit = evaluator.evaluate_cached(&pipeline, 1.0, &cache);   // hit: memoized
+//! assert_eq!(fresh.accuracy, hit.accuracy);
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! ```
+
+use crate::evaluator::EvalConfig;
+use crate::history::Trial;
+use autofp_preprocess::Pipeline;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The identity of one evaluation: pipeline (kinds *and* parameters),
+/// training-budget fraction, and the evaluator configuration.
+///
+/// Two keys are equal exactly when a memoized trial is reusable. The
+/// 64-bit [`CacheKey::fingerprint`] is a stable FNV-1a hash of the
+/// canonical form — convenient for logs and indexes — while the cache
+/// map itself keys on the full canonical string, so even a fingerprint
+/// collision between distinct pipelines cannot alias their results.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    canonical: String,
+    fingerprint: u64,
+}
+
+impl CacheKey {
+    /// Build the key for evaluating `pipeline` at `fraction` under
+    /// `config`.
+    pub fn new(pipeline: &Pipeline, fraction: f64, config: &EvalConfig) -> CacheKey {
+        let mut canonical = String::new();
+        let _ = write!(
+            canonical,
+            "m={};seed={};tf={};sub={};frac={};p={}",
+            config.model,
+            config.seed,
+            config.train_fraction.to_bits(),
+            config.train_subsample.map_or(-1_i64, |v| v as i64),
+            fraction.clamp(0.0, 1.0).to_bits(),
+            pipeline.key(),
+        );
+        let fingerprint = fnv1a(canonical.as_bytes());
+        CacheKey { canonical, fingerprint }
+    }
+
+    /// The stable 64-bit fingerprint of this key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The canonical string the fingerprint hashes.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// FNV-1a: tiny, dependency-free, and stable across platforms and
+/// compiler versions (unlike `DefaultHasher`, whose algorithm is
+/// unspecified).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Hit / miss / saved-time counters of an [`EvalCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups satisfied from the cache (including within-batch
+    /// duplicate pipelines satisfied by one shared evaluation).
+    pub hits: u64,
+    /// Lookups that had to run a fresh evaluation.
+    pub misses: u64,
+    /// Distinct memoized trials.
+    pub entries: usize,
+    /// Prep + Train wall-clock the hits would have re-spent.
+    pub saved: Duration,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hits over lookups in `[0, 1]` (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A thread-safe memo of finished [`Trial`]s.
+///
+/// All methods take `&self`; internal state is a mutex-guarded map plus
+/// atomic counters, so one cache can serve many evaluation workers
+/// concurrently (see [`crate::batch::BatchEvaluator::with_cache`]).
+///
+/// A hit returns a clone of the stored [`Trial`] — bit-identical to the
+/// original evaluation, *including* its recorded `prep_time` and
+/// `train_time`. Histories therefore keep the paper's attributed-time
+/// semantics (Figure 7) while [`CacheStats::saved`] tracks the
+/// wall-clock that was actually avoided.
+#[derive(Debug, Default)]
+pub struct EvalCache {
+    map: Mutex<HashMap<String, Trial>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    saved_nanos: AtomicU64,
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> EvalCache {
+        EvalCache::default()
+    }
+
+    /// Look up a memoized trial. Records a hit (and the saved Prep +
+    /// Train time) or a miss.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Trial> {
+        let found = self.map.lock().expect("cache lock").get(key.canonical()).cloned();
+        match &found {
+            Some(trial) => self.note_hit(trial),
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        found
+    }
+
+    /// Peek without touching the counters (used by batch dedup, which
+    /// does its own accounting).
+    pub(crate) fn peek(&self, key: &CacheKey) -> Option<Trial> {
+        self.map.lock().expect("cache lock").get(key.canonical()).cloned()
+    }
+
+    /// Record a hit that was satisfied outside [`EvalCache::lookup`]
+    /// (within-batch duplicate sharing).
+    pub(crate) fn note_hit(&self, trial: &Trial) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        let saved = trial.prep_time + trial.train_time;
+        self.saved_nanos.fetch_add(saved.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a miss that was resolved outside [`EvalCache::lookup`].
+    pub(crate) fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Memoize a finished trial.
+    pub fn insert(&self, key: &CacheKey, trial: &Trial) {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .insert(key.canonical().to_string(), trial.clone());
+    }
+
+    /// Number of memoized trials.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            saved: Duration::from_nanos(self.saved_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_preprocess::{Preproc, PreprocKind};
+    use std::collections::HashSet;
+
+    fn trial_for(p: &Pipeline, acc: f64) -> Trial {
+        Trial {
+            pipeline: p.clone(),
+            accuracy: acc,
+            error: 1.0 - acc,
+            prep_time: Duration::from_millis(3),
+            train_time: Duration::from_millis(5),
+            train_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn distinct_pipelines_get_distinct_fingerprints() {
+        let config = EvalConfig::default();
+        let mut seen = HashSet::new();
+        // Every 1- and 2-step default-parameter pipeline.
+        let mut pipelines = Vec::new();
+        for a in PreprocKind::ALL {
+            pipelines.push(Pipeline::from_kinds(&[a]));
+            for b in PreprocKind::ALL {
+                pipelines.push(Pipeline::from_kinds(&[a, b]));
+            }
+        }
+        for p in &pipelines {
+            assert!(
+                seen.insert(CacheKey::new(p, 1.0, &config).fingerprint()),
+                "fingerprint collision for {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parameters_fraction_and_config() {
+        let config = EvalConfig::default();
+        let a = Pipeline::new(vec![Preproc::Binarizer { threshold: 0.0 }]);
+        let b = Pipeline::new(vec![Preproc::Binarizer { threshold: 0.5 }]);
+        // Same kind sequence, different parameters.
+        assert_ne!(
+            CacheKey::new(&a, 1.0, &config).fingerprint(),
+            CacheKey::new(&b, 1.0, &config).fingerprint()
+        );
+        // Same pipeline, different training-budget fraction.
+        assert_ne!(
+            CacheKey::new(&a, 1.0, &config).fingerprint(),
+            CacheKey::new(&a, 0.5, &config).fingerprint()
+        );
+        // Same pipeline, different evaluator config.
+        let other = EvalConfig { seed: 99, ..EvalConfig::default() };
+        assert_ne!(
+            CacheKey::new(&a, 1.0, &config).fingerprint(),
+            CacheKey::new(&a, 1.0, &other).fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_key_constructions() {
+        let config = EvalConfig::default();
+        let p = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler, PreprocKind::Normalizer]);
+        let k1 = CacheKey::new(&p, 0.25, &config);
+        let k2 = CacheKey::new(&p.clone(), 0.25, &config.clone());
+        assert_eq!(k1.fingerprint(), k2.fingerprint());
+        assert_eq!(k1.canonical(), k2.canonical());
+    }
+
+    #[test]
+    fn lookup_hit_returns_identical_trial_and_counts() {
+        let cache = EvalCache::new();
+        let config = EvalConfig::default();
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let key = CacheKey::new(&p, 1.0, &config);
+
+        assert!(cache.lookup(&key).is_none());
+        let t = trial_for(&p, 0.9);
+        cache.insert(&key, &t);
+        let hit = cache.lookup(&key).expect("hit");
+        assert_eq!(hit.accuracy.to_bits(), t.accuracy.to_bits());
+        assert_eq!(hit.prep_time, t.prep_time);
+        assert_eq!(hit.train_time, t.train_time);
+        assert_eq!(hit.pipeline.key(), t.pipeline.key());
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.saved, Duration::from_millis(8));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias_entries() {
+        let cache = EvalCache::new();
+        let config = EvalConfig::default();
+        let a = Pipeline::new(vec![Preproc::Binarizer { threshold: 0.0 }]);
+        let b = Pipeline::new(vec![Preproc::Binarizer { threshold: 0.5 }]);
+        cache.insert(&CacheKey::new(&a, 1.0, &config), &trial_for(&a, 0.7));
+        cache.insert(&CacheKey::new(&b, 1.0, &config), &trial_for(&b, 0.8));
+        assert_eq!(cache.len(), 2);
+        let got_a = cache.lookup(&CacheKey::new(&a, 1.0, &config)).unwrap();
+        let got_b = cache.lookup(&CacheKey::new(&b, 1.0, &config)).unwrap();
+        assert_eq!(got_a.accuracy, 0.7);
+        assert_eq!(got_b.accuracy, 0.8);
+    }
+
+    #[test]
+    fn empty_cache_stats() {
+        let cache = EvalCache::new();
+        let s = cache.stats();
+        assert_eq!(s.lookups(), 0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert!(cache.is_empty());
+    }
+}

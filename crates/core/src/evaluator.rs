@@ -1,5 +1,6 @@
 //! Pipeline-error evaluation (Eq. 2 / Definition 3 of the paper).
 
+use crate::cache::{CacheKey, EvalCache};
 use crate::history::Trial;
 use autofp_data::{Dataset, Split};
 use autofp_models::classifier::{ModelKind, Trainer};
@@ -31,12 +32,23 @@ impl Default for EvalConfig {
 
 /// Evaluates pipelines: transform train+valid, train the downstream
 /// model, report validation accuracy — with per-phase timing.
+///
+/// An `Evaluator` is immutable after construction and `Send + Sync`
+/// ([`Trainer`] requires both), so a [`crate::BatchEvaluator`] can
+/// share one instance across worker threads by reference.
 pub struct Evaluator {
     split: Split,
     trainer: Box<dyn Trainer>,
-    model: ModelKind,
+    config: EvalConfig,
     baseline: f64,
 }
+
+// Compile-time proof of the Sync-friendliness the batch layer relies
+// on; fails to build if a future field breaks it.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Evaluator>();
+};
 
 impl Evaluator {
     /// Build from a dataset: performs the stratified 80:20 split, then
@@ -52,14 +64,20 @@ impl Evaluator {
             split.train = split.train.subsample(cap, config.seed);
         }
         let trainer = config.model.trainer(config.seed);
-        let mut ev = Evaluator { split, trainer, model: config.model, baseline: 0.0 };
+        let mut ev = Evaluator { split, trainer, config, baseline: 0.0 };
         ev.baseline = ev.evaluate(&Pipeline::empty()).accuracy;
         ev
     }
 
     /// The downstream model family.
     pub fn model(&self) -> ModelKind {
-        self.model
+        self.config.model
+    }
+
+    /// The configuration this evaluator was built with (cache keys
+    /// include it, so trials never leak across configurations).
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
     }
 
     /// Validation accuracy with no preprocessing (the paper's "no-FP"
@@ -108,6 +126,26 @@ impl Evaluator {
             train_fraction: fraction.clamp(0.0, 1.0),
         }
     }
+
+    /// Evaluate through a cache: a hit returns the memoized [`Trial`]
+    /// bit-identically (including its originally measured prep/train
+    /// times, preserving the paper's Figure 7 time attribution); a miss
+    /// evaluates and memoizes. Saved wall-clock is tracked in
+    /// [`crate::CacheStats::saved`].
+    pub fn evaluate_cached(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cache: &EvalCache,
+    ) -> Trial {
+        let key = CacheKey::new(pipeline, fraction, &self.config);
+        if let Some(trial) = cache.lookup(&key) {
+            return trial;
+        }
+        let trial = self.evaluate_budgeted(pipeline, fraction);
+        cache.insert(&key, &trial);
+        trial
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +160,7 @@ mod tests {
         p.skew = 0.4;
         p.class_sep = 2.0;
         p.label_noise = 0.0;
-        SynthConfig::new("eval-ds", 400, 8, 2, 31).with_personality(p).generate()
+        SynthConfig::new("eval-ds", 400, 8, 2, 41).with_personality(p).generate()
     }
 
     #[test]

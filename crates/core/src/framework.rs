@@ -7,7 +7,9 @@
 //! "Pick" phase of the Figure 7 breakdown (Steps 2-3 of Algorithm 1),
 //! while the evaluator attributes "Prep" and "Train" (Step 4).
 
+use crate::batch::BatchEvaluator;
 use crate::budget::{Budget, BudgetClock};
+use crate::cache::{CacheStats, EvalCache};
 use crate::evaluator::Evaluator;
 use crate::history::{PhaseBreakdown, Trial, TrialHistory};
 use autofp_preprocess::Pipeline;
@@ -27,24 +29,53 @@ pub trait Searcher {
 }
 
 /// Everything a searcher may touch: evaluation, budget state, history.
+///
+/// Single evaluations go through [`SearchContext::evaluate`]; searchers
+/// whose next proposals do not depend on each other's results (random
+/// search chunks, PBT generations, GP offspring) should instead submit
+/// them together via [`SearchContext::evaluate_batch`], which fans them
+/// across a [`BatchEvaluator`] worker pool and — when a cache is
+/// attached via [`SearchContext::attach_cache`] — serves duplicate
+/// proposals from memory.
 pub struct SearchContext<'a> {
     evaluator: &'a Evaluator,
     clock: BudgetClock,
     history: TrialHistory,
     pick_time: Duration,
     last_eval_end: Instant,
+    cache: Option<&'a EvalCache>,
+    batch_threads: usize,
 }
 
 impl<'a> SearchContext<'a> {
     /// Start a context over an evaluator with a budget.
     pub fn new(evaluator: &'a Evaluator, budget: Budget) -> SearchContext<'a> {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         SearchContext {
             evaluator,
             clock: budget.start(),
             history: TrialHistory::new(),
             pick_time: Duration::ZERO,
             last_eval_end: Instant::now(),
+            cache: None,
+            batch_threads: threads,
         }
+    }
+
+    /// Memoize every evaluation (single and batched) in `cache`; its
+    /// hit/miss/saved statistics are snapshotted into
+    /// [`SearchOutcome::cache`] at [`SearchContext::finish`]. Cache hits
+    /// still count toward eval-count budgets, so a searcher's proposal
+    /// sequence — and therefore its result — is identical with and
+    /// without a cache; only wall-clock changes.
+    pub fn attach_cache(&mut self, cache: &'a EvalCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Set the worker count used by [`SearchContext::evaluate_batch`]
+    /// (default: available parallelism).
+    pub fn set_batch_threads(&mut self, threads: usize) {
+        self.batch_threads = threads.max(1);
     }
 
     /// True once the budget is exhausted; searchers should then return.
@@ -70,11 +101,58 @@ impl<'a> SearchContext<'a> {
         }
         // Time since the previous evaluation ended is algorithm overhead.
         self.pick_time += self.last_eval_end.elapsed();
-        let trial = self.evaluator.evaluate_budgeted(pipeline, fraction);
+        let trial = match self.cache {
+            Some(cache) => self.evaluator.evaluate_cached(pipeline, fraction, cache),
+            None => self.evaluator.evaluate_budgeted(pipeline, fraction),
+        };
         self.clock.note_eval(fraction);
         self.last_eval_end = Instant::now();
         self.history.push(trial.clone());
         Some(trial)
+    }
+
+    /// Evaluate a batch of independent proposals at full training
+    /// budget. See [`SearchContext::evaluate_batch_budgeted`].
+    pub fn evaluate_batch(&mut self, pipelines: &[Pipeline]) -> Option<Vec<Trial>> {
+        self.evaluate_batch_budgeted(pipelines, 1.0)
+    }
+
+    /// Evaluate a batch of independent proposals in parallel.
+    ///
+    /// Returns `None` when the budget was already exhausted. Under an
+    /// eval-count budget the batch is truncated to the evaluations that
+    /// remain, so the returned vector may be shorter than `pipelines` —
+    /// trials still correspond to `pipelines[..len]` in order, and all
+    /// of them are appended to the history in that same order, keeping
+    /// eval-budget runs identical to the sequential path trial for
+    /// trial. Under a pure wall-clock budget the whole batch runs (the
+    /// clock is only consulted between batches, exactly as the
+    /// sequential path consults it between evaluations).
+    pub fn evaluate_batch_budgeted(
+        &mut self,
+        pipelines: &[Pipeline],
+        fraction: f64,
+    ) -> Option<Vec<Trial>> {
+        if self.clock.exhausted() {
+            return None;
+        }
+        let keep = match self.clock.remaining_evals() {
+            Some(n) => pipelines.len().min(n),
+            None => pipelines.len(),
+        };
+        let pipelines = &pipelines[..keep];
+        self.pick_time += self.last_eval_end.elapsed();
+        let mut batch = BatchEvaluator::new(self.evaluator).with_threads(self.batch_threads);
+        if let Some(cache) = self.cache {
+            batch = batch.with_cache(cache);
+        }
+        let trials = batch.evaluate_batch_budgeted(pipelines, fraction);
+        for trial in &trials {
+            self.clock.note_eval(fraction);
+            self.history.push(trial.clone());
+        }
+        self.last_eval_end = Instant::now();
+        Some(trials)
     }
 
     /// The evaluator's no-FP baseline accuracy.
@@ -101,6 +179,7 @@ impl<'a> SearchContext<'a> {
             breakdown: PhaseBreakdown { pick: self.pick_time, prep, train },
             history: self.history,
             elapsed: self.clock.elapsed(),
+            cache: self.cache.map(|c| c.stats()),
         }
     }
 }
@@ -116,6 +195,9 @@ pub struct SearchOutcome {
     pub breakdown: PhaseBreakdown,
     /// Total wall-clock time of the run.
     pub elapsed: Duration,
+    /// Snapshot of the attached [`EvalCache`]'s statistics at finish
+    /// time; `None` when the run was uncached.
+    pub cache: Option<CacheStats>,
 }
 
 impl SearchOutcome {
@@ -137,6 +219,21 @@ pub fn run_search(
     budget: Budget,
 ) -> SearchOutcome {
     let mut ctx = SearchContext::new(evaluator, budget);
+    searcher.search(&mut ctx);
+    ctx.finish(searcher.name())
+}
+
+/// Run a searcher with an attached [`EvalCache`]: duplicate proposals
+/// (within this run or from earlier runs sharing the cache) are served
+/// from memory, and the outcome carries the cache statistics.
+pub fn run_search_cached(
+    searcher: &mut dyn Searcher,
+    evaluator: &Evaluator,
+    budget: Budget,
+    cache: &EvalCache,
+) -> SearchOutcome {
+    let mut ctx = SearchContext::new(evaluator, budget);
+    ctx.attach_cache(cache);
     searcher.search(&mut ctx);
     ctx.finish(searcher.name())
 }
@@ -193,6 +290,56 @@ mod tests {
         assert!(b.train.as_nanos() > 0);
         let (pick, prep, train) = b.percentages();
         assert!((pick + prep + train - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn batch_truncates_to_eval_budget_and_fills_history_in_order() {
+        let ev = evaluator();
+        let mut ctx = SearchContext::new(&ev, Budget::evals(3));
+        let space = ParamSpace::default_space();
+        let mut rng = autofp_linalg::rng::rng_from_seed(5);
+        let batch: Vec<_> = (0..5).map(|_| space.sample_pipeline(&mut rng, 4)).collect();
+        let trials = ctx.evaluate_batch(&batch).expect("budget not exhausted");
+        assert_eq!(trials.len(), 3, "truncated to remaining evals");
+        for (t, p) in trials.iter().zip(&batch) {
+            assert_eq!(t.pipeline.key(), p.key());
+        }
+        assert!(ctx.exhausted());
+        assert!(ctx.evaluate_batch(&batch).is_none());
+        let outcome = ctx.finish("BATCH");
+        assert_eq!(outcome.history.len(), 3);
+        assert!(outcome.cache.is_none());
+    }
+
+    #[test]
+    fn cached_run_records_stats_and_hits_on_duplicates() {
+        let ev = evaluator();
+        let cache = crate::cache::EvalCache::new();
+        let mut ctx = SearchContext::new(&ev, Budget::evals(4));
+        ctx.attach_cache(&cache);
+        let p = autofp_preprocess::Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+        let a = ctx.evaluate(&p).expect("first");
+        let b = ctx.evaluate(&p).expect("second — a cache hit, still budgeted");
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        let outcome = ctx.finish("CACHED");
+        assert_eq!(outcome.history.len(), 2, "hits still enter history");
+        let stats = outcome.cache.expect("stats snapshotted");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn cached_search_matches_uncached_trial_for_trial() {
+        let ev = evaluator();
+        let plain = run_search(&mut FixedSearcher, &ev, Budget::evals(6));
+        let cache = crate::cache::EvalCache::new();
+        let cached = run_search_cached(&mut FixedSearcher, &ev, Budget::evals(6), &cache);
+        assert_eq!(plain.history.len(), cached.history.len());
+        for (a, b) in plain.history.trials().iter().zip(cached.history.trials()) {
+            assert_eq!(a.pipeline.key(), b.pipeline.key());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
+        assert!(cached.cache.is_some());
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   and appends to the [`history::TrialHistory`].
 //! * [`ranking`] computes the paper's average-ranking tables (Table 4)
 //!   with its tie and ≥1.5%-improvement scenario rules.
+//! * [`batch::BatchEvaluator`] fans independent candidate evaluations
+//!   across a worker pool, and [`cache::EvalCache`] memoizes trials by
+//!   a stable pipeline fingerprint — together they attack the paper's
+//!   §5 finding that evaluation dominates search time.
 
+pub mod batch;
 pub mod budget;
+pub mod cache;
 pub mod evaluator;
 pub mod framework;
 pub mod history;
@@ -26,7 +32,9 @@ pub mod patterns;
 pub mod report;
 pub mod ranking;
 
+pub use batch::BatchEvaluator;
 pub use budget::{Budget, BudgetClock};
+pub use cache::{CacheKey, CacheStats, EvalCache};
 pub use evaluator::{EvalConfig, Evaluator};
-pub use framework::{run_search, SearchContext, SearchOutcome, Searcher};
+pub use framework::{run_search, run_search_cached, SearchContext, SearchOutcome, Searcher};
 pub use history::{PhaseBreakdown, Trial, TrialHistory};

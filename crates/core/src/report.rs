@@ -4,6 +4,7 @@
 //! form that diff-based tooling and humans can read. This module keeps
 //! the rendering logic next to the data it renders.
 
+use crate::cache::CacheStats;
 use crate::framework::SearchOutcome;
 use std::fmt::Write as _;
 
@@ -49,6 +50,31 @@ pub fn summary_markdown(outcome: &SearchOutcome, baseline: f64) -> String {
         out,
         "| phase split | Pick {pick:.0}% / Prep {prep:.0}% / Train {train:.0}% |"
     );
+    if let Some(stats) = &outcome.cache {
+        let _ = writeln!(
+            out,
+            "| cache | {} hits / {} lookups ({:.0}% hit rate), {:.3} s saved |",
+            stats.hits,
+            stats.lookups(),
+            stats.hit_rate() * 100.0,
+            stats.saved.as_secs_f64(),
+        );
+    }
+    out
+}
+
+/// Render an [`EvalCache`](crate::cache::EvalCache) statistics snapshot
+/// as a Markdown table.
+pub fn cache_stats_markdown(stats: &CacheStats) -> String {
+    let mut out = String::from("### Evaluation cache\n\n");
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| lookups | {} |", stats.lookups());
+    let _ = writeln!(out, "| hits | {} |", stats.hits);
+    let _ = writeln!(out, "| misses | {} |", stats.misses);
+    let _ = writeln!(out, "| hit rate | {:.1}% |", stats.hit_rate() * 100.0);
+    let _ = writeln!(out, "| entries | {} |", stats.entries);
+    let _ = writeln!(out, "| eval time saved | {:.3} s |", stats.saved.as_secs_f64());
     out
 }
 
@@ -114,6 +140,22 @@ mod tests {
         assert!(md.contains("best accuracy"));
         assert!(md.contains("FIXED"));
         assert!(md.contains("| best pipeline |"));
+    }
+
+    #[test]
+    fn cache_stats_render_and_appear_in_summary() {
+        use crate::cache::EvalCache;
+        use crate::framework::run_search_cached;
+        let d = SynthConfig::new("report-cache", 100, 4, 2, 3).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let cache = EvalCache::new();
+        let out = run_search_cached(&mut Fixed, &ev, Budget::evals(6), &cache);
+        let stats = out.cache.expect("cached run snapshots stats");
+        let md = cache_stats_markdown(&stats);
+        assert!(md.contains("| lookups | 6 |"));
+        assert!(md.contains("hit rate"));
+        let summary = summary_markdown(&out, ev.baseline_accuracy());
+        assert!(summary.contains("| cache |"));
     }
 
     #[test]

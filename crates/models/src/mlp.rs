@@ -281,7 +281,7 @@ mod tests {
         p.skew = 0.5;
         p.class_sep = 2.0;
         p.label_noise = 0.0;
-        let d = SynthConfig::new("mlp-scale", 500, 8, 2, 9).with_personality(p).generate();
+        let d = SynthConfig::new("mlp-scale", 500, 8, 2, 13).with_personality(p).generate();
         let split = d.stratified_split(0.8, 1);
         let params = MlpParams { max_epochs: 15, ..Default::default() };
         let raw = params.fit(&split.train.x, &split.train.y, 2);

@@ -258,10 +258,7 @@ mod tests {
         // Downcast is awkward through the trait; rebuild directly.
         let mut builder_check = params.clone();
         builder_check.max_depth = Some(2);
-        let tree2 = {
-            let t = builder_check.fit(&x, &y, 2);
-            t
-        };
+        let tree2 = builder_check.fit(&x, &y, 2);
         // Depth-2 tree has at most 4 leaves -> cannot exceed 7 nodes; it
         // also cannot memorize the period-4 pattern perfectly.
         let acc = accuracy(&y, &tree2.predict(&x));

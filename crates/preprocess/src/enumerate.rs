@@ -90,7 +90,7 @@ mod tests {
     #[test]
     fn lengths_within_bounds() {
         for p in enumerate_pipelines(4) {
-            assert!(p.len() >= 1 && p.len() <= 4);
+            assert!(!p.is_empty() && p.len() <= 4);
         }
     }
 }

@@ -124,6 +124,11 @@ impl Searcher for TournamentEvolution {
 /// fresh random pipeline instead of a mutation (§4.1.3: "injects more
 /// exploration by randomly generating FP pipelines with a fixed
 /// probability").
+///
+/// Within one generation the replacements are independent (their
+/// mutation sources are the frozen top quantile), so each generation is
+/// submitted through [`SearchContext::evaluate_batch`] and evaluates in
+/// parallel without changing the trial sequence.
 pub struct Pbt {
     space: ParamSpace,
     max_len: usize,
@@ -176,28 +181,29 @@ impl Searcher for Pbt {
         let done = |evals: usize| stop_after.is_some_and(|n| evals >= n);
         let mut population: Vec<Member> = Vec::with_capacity(self.population_size);
         let mut birth = 0u64;
-        // Warm-start seeds first (truncated to the population size), then
-        // random fill.
-        let seeds: Vec<Pipeline> =
+
+        // The whole initial population — warm-start seeds (truncated to
+        // the population size), then random fill — is proposed up front
+        // and evaluated as one parallel batch: no proposal depends on
+        // another's result, so the trial sequence matches one-at-a-time
+        // evaluation exactly.
+        let mut init: Vec<Pipeline> =
             self.seed_pipelines.iter().take(self.population_size).cloned().collect();
-        for p in seeds {
-            let Some(t) = ctx.evaluate(&p) else { return };
-            population.push(Member { pipeline: p, accuracy: t.accuracy, birth });
-            birth += 1;
-            evals += 1;
-            if done(evals) {
-                return;
-            }
+        while init.len() < self.population_size {
+            init.push(self.space.sample_pipeline(&mut self.rng, self.max_len));
         }
-        while population.len() < self.population_size {
-            let p = self.space.sample_pipeline(&mut self.rng, self.max_len);
-            let Some(t) = ctx.evaluate(&p) else { return };
-            population.push(Member { pipeline: p, accuracy: t.accuracy, birth });
+        if let Some(n) = stop_after {
+            init.truncate(n.saturating_sub(evals));
+        }
+        let Some(trials) = ctx.evaluate_batch(&init) else { return };
+        for (p, t) in init.iter().zip(&trials) {
+            population.push(Member { pipeline: p.clone(), accuracy: t.accuracy, birth });
             birth += 1;
             evals += 1;
-            if done(evals) {
-                return;
-            }
+        }
+        if population.len() < self.population_size || done(evals) {
+            // Budget or stop_after tripped before a full population.
+            return;
         }
 
         let k = ((self.population_size as f64 * self.quantile).round() as usize)
@@ -208,8 +214,11 @@ impl Searcher for Pbt {
             }
             // Rank descending by accuracy.
             population.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("NaN"));
-            // Replace each bottom-k member.
-            for i in (self.population_size - k)..self.population_size {
+            // Propose all k replacements against the frozen generation
+            // ranking (mutation sources are top-k members, which the
+            // replacements never touch), then evaluate them as one batch.
+            let mut proposals: Vec<Pipeline> = Vec::with_capacity(k);
+            for _ in 0..k {
                 let replacement = if self.rng.gen::<f64>() < self.fresh_prob {
                     self.space.sample_pipeline(&mut self.rng, self.max_len)
                 } else {
@@ -217,13 +226,20 @@ impl Searcher for Pbt {
                     let src = self.rng.gen_range(0..k);
                     mutate(&population[src].pipeline, &self.space, self.max_len, &mut self.rng)
                 };
-                let Some(t) = ctx.evaluate(&replacement) else { return };
-                population[i] = Member { pipeline: replacement, accuracy: t.accuracy, birth };
+                proposals.push(replacement);
+            }
+            if let Some(n) = stop_after {
+                proposals.truncate(n.saturating_sub(evals));
+            }
+            let Some(trials) = ctx.evaluate_batch(&proposals) else { return };
+            for (i, (p, t)) in proposals.iter().zip(&trials).enumerate() {
+                population[self.population_size - k + i] =
+                    Member { pipeline: p.clone(), accuracy: t.accuracy, birth };
                 birth += 1;
                 evals += 1;
-                if done(evals) {
-                    return;
-                }
+            }
+            if trials.len() < k || done(evals) {
+                return;
             }
         }
     }
@@ -277,7 +293,7 @@ mod tests {
         p.skew = 0.5;
         p.label_noise = 0.0;
         p.class_sep = 2.0;
-        let d = SynthConfig::new("evo-landscape", 300, 8, 2, 21).with_personality(p).generate();
+        let d = SynthConfig::new("evo-landscape", 300, 8, 2, 13).with_personality(p).generate();
         let ev = Evaluator::new(&d, EvalConfig::default());
         let mut tevo =
             TournamentEvolution::new(ParamSpace::default_space(), 4, KillStrategy::Worst, 5);

@@ -11,9 +11,25 @@
 //! | Bandit-based | [`bandit::Hyperband`], [`bandit::Bohb`] |
 //!
 //! All implement [`autofp_core::Searcher`] and interact with the world
-//! through [`autofp_core::SearchContext`] (Algorithm 1). The
-//! [`factory`] module constructs any of the 15 by name; [`extended`]
-//! provides the One-step/Two-step parameter-search strategies.
+//! through [`autofp_core::SearchContext`] (Algorithm 1). Searchers
+//! whose proposals are result-independent (random search chunks, PBT
+//! generations, fixed lists) submit them through
+//! [`autofp_core::SearchContext::evaluate_batch`], which parallelizes
+//! evaluation and serves duplicates from an attached
+//! [`autofp_core::EvalCache`] without changing the trial sequence.
+//!
+//! Module-to-paper map:
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`random`] | §4.1.1 traditional algorithms (RS, Anneal) |
+//! | [`smac`], [`tpe_search`], [`pnas`] | §4.1.2 surrogate-model-based |
+//! | [`evolution`] | §4.1.3 evolution-based (PBT, TEVO) |
+//! | [`rl`] | §4.1.4 RL-based (REINFORCE, ENAS) |
+//! | [`bandit`] | §4.1.5 bandit-based (Hyperband, BOHB) |
+//! | [`mutation`] | §4.1.3 shared mutation operator |
+//! | [`factory`] | §4.2 unified framework: all 15 by name |
+//! | [`extended`] | §6 parameter search (One-step, Two-step) |
 
 pub mod bandit;
 pub mod evolution;

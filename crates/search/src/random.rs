@@ -7,18 +7,33 @@ use autofp_preprocess::{ParamSpace, Pipeline};
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Random search: sample one pipeline uniformly per iteration (the
-/// paper's strong baseline).
+/// Random search: sample pipelines uniformly (the paper's strong
+/// baseline).
+///
+/// Random search's proposal stream is independent of evaluation results,
+/// which makes it trivially batchable: proposals are drawn
+/// [`RandomSearch::batch_size`] at a time and submitted through
+/// [`SearchContext::evaluate_batch`], so they evaluate in parallel (and
+/// duplicates hit the context's cache, if one is attached) while the
+/// trial sequence stays identical to one-at-a-time evaluation.
 pub struct RandomSearch {
     space: ParamSpace,
     max_len: usize,
     rng: StdRng,
+    /// Proposals submitted per batch (1 = sequential evaluation).
+    pub batch_size: usize,
 }
 
 impl RandomSearch {
     /// Random search over a space.
     pub fn new(space: ParamSpace, max_len: usize, seed: u64) -> RandomSearch {
-        RandomSearch { space, max_len, rng: rng_from_seed(seed) }
+        RandomSearch { space, max_len, rng: rng_from_seed(seed), batch_size: 8 }
+    }
+
+    /// Builder-style batch size override.
+    pub fn with_batch_size(mut self, batch_size: usize) -> RandomSearch {
+        self.batch_size = batch_size.max(1);
+        self
     }
 }
 
@@ -29,8 +44,10 @@ impl Searcher for RandomSearch {
 
     fn search(&mut self, ctx: &mut SearchContext) {
         loop {
-            let p = self.space.sample_pipeline(&mut self.rng, self.max_len);
-            if ctx.evaluate(&p).is_none() {
+            let batch: Vec<Pipeline> = (0..self.batch_size)
+                .map(|_| self.space.sample_pipeline(&mut self.rng, self.max_len))
+                .collect();
+            if ctx.evaluate_batch(&batch).is_none() {
                 return;
             }
         }
@@ -103,8 +120,11 @@ impl Searcher for Exhaustive {
     }
 
     fn search(&mut self, ctx: &mut SearchContext) {
-        for p in autofp_preprocess::enumerate::enumerate_pipelines(self.max_len) {
-            if ctx.evaluate(&p).is_none() {
+        // Enumeration order is fixed, so chunks can evaluate in parallel
+        // without changing the trial sequence.
+        let pipelines = autofp_preprocess::enumerate::enumerate_pipelines(self.max_len);
+        for chunk in pipelines.chunks(16) {
+            if ctx.evaluate_batch(chunk).is_none() {
                 return;
             }
         }
@@ -123,8 +143,8 @@ impl Searcher for FixedList {
     }
 
     fn search(&mut self, ctx: &mut SearchContext) {
-        for p in &self.pipelines {
-            if ctx.evaluate(p).is_none() {
+        for chunk in self.pipelines.chunks(16) {
+            if ctx.evaluate_batch(chunk).is_none() {
                 return;
             }
         }
@@ -159,6 +179,41 @@ mod tests {
             run_search(&mut rs, &ev, Budget::evals(6)).best_accuracy()
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn batch_size_never_changes_the_trial_sequence() {
+        let ev = evaluator();
+        let run = |batch_size| {
+            let mut rs =
+                RandomSearch::new(ParamSpace::default_space(), 7, 3).with_batch_size(batch_size);
+            run_search(&mut rs, &ev, Budget::evals(9))
+        };
+        let sequential = run(1);
+        for batch_size in [2, 4, 16] {
+            let batched = run(batch_size);
+            assert_eq!(batched.history.len(), sequential.history.len());
+            for (a, b) in batched.history.trials().iter().zip(sequential.history.trials()) {
+                assert_eq!(a.pipeline.key(), b.pipeline.key());
+                assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_random_search_hits_on_duplicate_proposals() {
+        use autofp_core::{run_search_cached, EvalCache};
+        let ev = evaluator();
+        let cache = EvalCache::new();
+        // Length-1 default-parameter pipelines: 7 possibilities, so 20
+        // proposals must repeat.
+        let mut rs = RandomSearch::new(ParamSpace::default_space(), 1, 5);
+        let out = run_search_cached(&mut rs, &ev, Budget::evals(20), &cache);
+        assert_eq!(out.history.len(), 20);
+        let stats = out.cache.expect("stats snapshotted");
+        assert!(stats.hits > 0, "duplicate proposals must hit: {stats:?}");
+        assert!(stats.entries <= 7);
+        assert_eq!(stats.lookups(), 20);
     }
 
     #[test]

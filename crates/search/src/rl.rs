@@ -172,7 +172,7 @@ mod tests {
         let out = run_search(&mut r, &ev, Budget::evals(15));
         assert_eq!(out.history.len(), 15);
         for t in out.history.trials() {
-            assert!(t.pipeline.len() >= 1 && t.pipeline.len() <= 5);
+            assert!(!t.pipeline.is_empty() && t.pipeline.len() <= 5);
         }
     }
 

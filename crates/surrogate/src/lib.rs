@@ -13,6 +13,16 @@
 //!
 //! All gradient-trained surrogates share the [`adam`] optimizer and take
 //! explicit seeds.
+//!
+//! Module-to-paper map:
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`rf`] | §4.1.2 SMAC's random-forest surrogate |
+//! | [`tpe`] | §4.1.2 TPE / §4.1.5 BOHB density models |
+//! | [`mlp_reg`] | §4.1.2 PNAS with MLP surrogates (PMNE, PME) |
+//! | [`lstm`] | §4.1.2 PNAS with LSTM surrogates (PLNE, PLE); §4.1.4 ENAS controller |
+//! | [`adam`] | shared optimizer (implementation detail, no section) |
 
 pub mod adam;
 pub mod lstm;

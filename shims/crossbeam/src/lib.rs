@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] — the only `crossbeam` API the workspace uses —
+//! implemented over `std::thread::scope` (stable since Rust 1.63).
+//! Matching `crossbeam::scope`, the closure passed to [`Scope::spawn`]
+//! receives a scope argument (ignored by every caller here) and a
+//! panicking worker surfaces as an `Err` from [`scope`].
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Handle workers use to spawn further scoped threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure's argument mirrors
+    /// `crossbeam`'s nested-scope handle; callers here ignore it.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Run `f` with a scope in which borrowed-data threads can be spawned;
+/// joins all workers before returning. Returns `Err` with the panic
+/// payload if any worker (or `f` itself) panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(counter.into_inner(), 4);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        assert_eq!(scope(|_| 42).unwrap(), 42);
+    }
+}

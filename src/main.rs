@@ -162,7 +162,6 @@ fn cmd_search(args: &[String]) {
         read_csv_file(&a.csv)
     } else {
         std::fs::read_to_string(&a.csv)
-            .map_err(std::convert::identity)
             .and_then(|text| {
                 autofp::data::csv::parse_csv("csv", &text, false)
                     .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
@@ -225,7 +224,7 @@ fn cmd_search(args: &[String]) {
 
 fn cmd_algorithms() {
     println!("The 15 Auto-FP search algorithms (paper Table 3):\n");
-    println!("{:<11} {:<23} {}", "NAME", "CATEGORY", "NOTES");
+    println!("{:<11} {:<23} NOTES", "NAME", "CATEGORY");
     for alg in AlgName::ALL {
         let notes = match alg {
             AlgName::Pbt => "best overall average ranking in the paper",
