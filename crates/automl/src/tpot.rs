@@ -7,7 +7,7 @@
 //! Both are implemented as [`Searcher`]s so the §7.1 comparison runs on
 //! the identical evaluator as Auto-FP.
 
-use autofp_core::{SearchContext, Searcher};
+use autofp_core::{nan_smallest, SearchContext, Searcher};
 use autofp_linalg::rng::rng_from_seed;
 use autofp_preprocess::{Pipeline, Preproc, PreprocKind};
 use rand::rngs::StdRng;
@@ -126,7 +126,7 @@ impl Searcher for TpotFp {
             // child is bred from the *previous* generation's fitness, so
             // the whole brood is proposed first and evaluated as one
             // batch — GP's classic generation-level parallelism.
-            population.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN"));
+            population.sort_by(|a, b| nan_smallest(&b.1, &a.1));
             let mut brood: Vec<Pipeline> = Vec::with_capacity(self.population_size - 1);
             while brood.len() + 1 < self.population_size {
                 // Tournament selection of two parents.

@@ -89,7 +89,9 @@ impl MetaStore {
         };
         let mut order: Vec<usize> = (0..self.entries.len()).collect();
         order.sort_by(|&a, &b| {
-            dist(&self.entries[a].meta).partial_cmp(&dist(&self.entries[b].meta)).expect("NaN")
+            // nan_largest: an entry with corrupt meta-features (NaN
+            // distance) is ranked least similar instead of panicking.
+            autofp_core::nan_largest(&dist(&self.entries[a].meta), &dist(&self.entries[b].meta))
         });
         let mut out: Vec<Pipeline> = Vec::new();
         let mut seen = std::collections::HashSet::new();

@@ -43,7 +43,7 @@ fn main() {
         let mut pbt = Pbt::new(ParamSpace::default_space(), cfg.max_len, cfg.seed);
         let out = run_search(&mut pbt, &ev, search_budget);
         let mut trials: Vec<_> = out.history.trials().to_vec();
-        trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("NaN"));
+        trials.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
         let best: Vec<_> = trials.into_iter().take(3).map(|t| t.pipeline).collect();
         let meta = extract(&dataset, &mf_cfg).as_slice().to_vec();
         store.record(name, meta, best);

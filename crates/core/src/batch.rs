@@ -4,20 +4,25 @@
 //! Train) dwarfs algorithm overhead (Pick), so the straightest path to
 //! "fast as the hardware allows" is evaluating *many candidate
 //! pipelines at once*. A [`BatchEvaluator`] fans a slice of pipelines
-//! out across a scoped worker pool ([`std::thread::scope`]; the
-//! [`crate::Evaluator`] is `Send + Sync`, so workers share it by
-//! reference), preserving:
+//! out across a scoped worker pool ([`std::thread::scope`]; evaluators
+//! are `Send + Sync`, so workers share them by reference), preserving:
 //!
 //! * **deterministic result ordering** — `results[i]` is always the
 //!   trial of `pipelines[i]`, whatever order workers finish in;
 //! * **per-trial timing** — each worker measures its own trial's Prep
 //!   and Train phases exactly as the sequential path does;
 //! * **bit-identical accuracies** — trials are independent and the
-//!   evaluator is deterministic, so thread count never changes results.
+//!   evaluator is deterministic, so thread count never changes results;
+//! * **panic isolation** — every worker job runs through the shielded
+//!   [`Evaluate`] path, so a panicking pipeline yields its own
+//!   worst-error trial and the rest of the batch completes normally.
 //!
 //! With [`BatchEvaluator::with_cache`], duplicate proposals — both
 //! repeats across batches and duplicates *within* one batch — are
-//! satisfied by a single evaluation through an [`EvalCache`].
+//! satisfied by a single evaluation through an [`EvalCache`]. With
+//! [`BatchEvaluator::with_cancel`], workers stop starting model fits
+//! once the token fires (in-flight fits return early at their next
+//! epoch boundary), bounding wall-clock overrun per batch.
 //!
 //! ```
 //! use autofp_core::{BatchEvaluator, EvalConfig, Evaluator};
@@ -41,30 +46,32 @@
 //! ```
 
 use crate::cache::{CacheKey, EvalCache};
-use crate::evaluator::Evaluator;
+use crate::evaluator::{evaluate_or_worst, Evaluate};
 use crate::history::Trial;
+use autofp_models::CancelToken;
 use autofp_preprocess::Pipeline;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Evaluates batches of candidate pipelines on a worker pool, with
-/// optional pipeline-result caching.
+/// optional pipeline-result caching and cooperative cancellation.
 ///
-/// Construct per search run (it is cheap: two words plus references);
-/// the worker pool is scoped to each `evaluate_batch*` call, so no
-/// threads linger between batches.
+/// Construct per search run (it is cheap: a few words plus
+/// references); the worker pool is scoped to each `evaluate_batch*`
+/// call, so no threads linger between batches.
 pub struct BatchEvaluator<'a> {
-    evaluator: &'a Evaluator,
+    evaluator: &'a dyn Evaluate,
     threads: usize,
     cache: Option<&'a EvalCache>,
+    cancel: CancelToken,
 }
 
 impl<'a> BatchEvaluator<'a> {
     /// A batch evaluator over `evaluator`, defaulting to the machine's
-    /// available parallelism and no cache.
-    pub fn new(evaluator: &'a Evaluator) -> BatchEvaluator<'a> {
+    /// available parallelism, no cache, and a token that never fires.
+    pub fn new(evaluator: &'a dyn Evaluate) -> BatchEvaluator<'a> {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        BatchEvaluator { evaluator, threads, cache: None }
+        BatchEvaluator { evaluator, threads, cache: None, cancel: CancelToken::new() }
     }
 
     /// Set the worker count (clamped to at least 1). One worker means
@@ -80,13 +87,21 @@ impl<'a> BatchEvaluator<'a> {
         self
     }
 
+    /// Thread `cancel` into every evaluation: jobs not yet started
+    /// when it fires become deadline failures, and running model fits
+    /// return early at their next iteration boundary.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> BatchEvaluator<'a> {
+        self.cancel = cancel;
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
     }
 
     /// The underlying evaluator.
-    pub fn evaluator(&self) -> &Evaluator {
+    pub fn evaluator(&self) -> &dyn Evaluate {
         self.evaluator
     }
 
@@ -153,6 +168,8 @@ impl<'a> BatchEvaluator<'a> {
 
         let fresh = self.run_parallel(&jobs, fraction);
         for (key, trial) in job_keys.iter().zip(&fresh) {
+            // insert() itself refuses deadline failures, which are a
+            // property of this run's clock, not of the pipeline.
             cache.insert(key, trial);
         }
         slots
@@ -170,7 +187,10 @@ impl<'a> BatchEvaluator<'a> {
     }
 
     /// Evaluate `jobs` across the worker pool; `results[i]` belongs to
-    /// `jobs[i]`.
+    /// `jobs[i]`. Every job runs through the shielded evaluation path
+    /// ([`evaluate_or_worst`]), so a panic inside one evaluation is
+    /// caught at that job's boundary and recorded as its worst-error
+    /// trial — the other jobs, and the batch, are unaffected.
     fn run_parallel(&self, jobs: &[&Pipeline], fraction: f64) -> Vec<Trial> {
         if jobs.is_empty() {
             return Vec::new();
@@ -179,7 +199,7 @@ impl<'a> BatchEvaluator<'a> {
         if workers <= 1 {
             return jobs
                 .iter()
-                .map(|p| self.evaluator.evaluate_budgeted(p, fraction))
+                .map(|p| evaluate_or_worst(self.evaluator, p, fraction, &self.cancel))
                 .collect();
         }
 
@@ -193,15 +213,21 @@ impl<'a> BatchEvaluator<'a> {
                     if i >= jobs.len() {
                         break;
                     }
-                    let trial = self.evaluator.evaluate_budgeted(jobs[i], fraction);
-                    *slots[i].lock().expect("result slot") = Some(trial);
+                    let trial = evaluate_or_worst(self.evaluator, jobs[i], fraction, &self.cancel);
+                    // A slot mutex is written once by exactly one
+                    // worker; recovering from a (theoretical) poison
+                    // is safe because `Some(trial)` is assigned
+                    // atomically from the worker's point of view.
+                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(trial);
                 });
             }
         });
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner().expect("result slot").expect("worker filled every slot")
+                slot.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .expect("every job index below jobs.len() is claimed by exactly one worker")
             })
             .collect()
     }
@@ -211,7 +237,8 @@ impl<'a> BatchEvaluator<'a> {
 mod tests {
     use super::*;
     use crate::cache::EvalCache;
-    use crate::evaluator::EvalConfig;
+    use crate::error::{EvalError, FailureKind};
+    use crate::evaluator::{EvalConfig, Evaluator};
     use autofp_data::SynthConfig;
     use autofp_linalg::rng::rng_from_seed;
     use autofp_preprocess::{ParamSpace, PreprocKind};
@@ -319,5 +346,89 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 2, "different fractions are different keys");
         assert_eq!(s.entries, 2);
+    }
+
+    /// Delegates to a real evaluator except for one victim pipeline,
+    /// whose evaluation panics.
+    struct PanicsOnVictim<'a> {
+        inner: &'a Evaluator,
+        victim: String,
+    }
+
+    impl Evaluate for PanicsOnVictim<'_> {
+        fn evaluate_raw(
+            &self,
+            pipeline: &Pipeline,
+            fraction: f64,
+            cancel: &CancelToken,
+        ) -> Result<Trial, EvalError> {
+            assert_ne!(pipeline.key(), self.victim, "victim pipeline panics");
+            self.inner.evaluate_raw(pipeline, fraction, cancel)
+        }
+        fn config(&self) -> &EvalConfig {
+            self.inner.config()
+        }
+        fn baseline_accuracy(&self) -> f64 {
+            self.inner.baseline_accuracy()
+        }
+        fn train_rows(&self) -> usize {
+            self.inner.train_rows()
+        }
+    }
+
+    #[test]
+    fn one_panicking_pipeline_costs_one_trial_not_the_batch() {
+        let ev = evaluator();
+        let batch = random_batch(16, 23);
+        let victim_idx = 9;
+        let wrapped =
+            PanicsOnVictim { inner: &ev, victim: batch[victim_idx].key() };
+        // Suppress expected assert-panic output from worker threads.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut runs = Vec::new();
+        for threads in [1, 2, 8] {
+            runs.push(
+                BatchEvaluator::new(&wrapped).with_threads(threads).evaluate_batch(&batch),
+            );
+        }
+        std::panic::set_hook(prev);
+        let reference: Vec<Trial> = batch.iter().map(|p| ev.evaluate(p)).collect();
+        for trials in &runs {
+            assert_eq!(trials.len(), batch.len());
+            for (i, t) in trials.iter().enumerate() {
+                if i == victim_idx {
+                    assert_eq!(t.failure, Some(FailureKind::Panic));
+                    assert_eq!(t.error, 1.0);
+                } else {
+                    assert!(t.failure.is_none(), "trial {i} should succeed");
+                    assert_eq!(t.accuracy.to_bits(), reference[i].accuracy.to_bits());
+                }
+            }
+        }
+        // Bit-identical across thread counts, failures included.
+        for trials in &runs[1..] {
+            for (a, b) in trials.iter().zip(&runs[0]) {
+                assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+                assert_eq!(a.failure, b.failure);
+            }
+        }
+    }
+
+    #[test]
+    fn fired_cancel_token_turns_batch_into_deadline_failures() {
+        let ev = evaluator();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let batch = random_batch(6, 31);
+        let trials = BatchEvaluator::new(&ev)
+            .with_threads(2)
+            .with_cancel(cancel)
+            .evaluate_batch(&batch);
+        assert_eq!(trials.len(), 6);
+        for t in &trials {
+            assert_eq!(t.failure, Some(FailureKind::Deadline));
+            assert_eq!(t.error, 1.0);
+        }
     }
 }

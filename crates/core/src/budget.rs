@@ -94,6 +94,14 @@ impl BudgetClock {
         self.started.elapsed()
     }
 
+    /// The absolute wall-clock deadline of this run, if a wall-clock
+    /// limit is configured. The search framework arms a
+    /// `CancelToken` with this instant so running trainer loops stop
+    /// cooperatively when time runs out.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.budget.wall_clock.map(|limit| self.started + limit)
+    }
+
     /// Remaining fraction of the budget in `[0, 1]` (minimum across the
     /// configured limits; `1.0` if unlimited).
     pub fn remaining_fraction(&self) -> f64 {
@@ -162,6 +170,14 @@ mod tests {
         assert_eq!(clock.remaining_evals(), Some(0));
         let wall = Budget::wall_clock(Duration::from_secs(1)).start();
         assert_eq!(wall.remaining_evals(), None);
+    }
+
+    #[test]
+    fn deadline_mirrors_wall_clock_limit() {
+        let clock = Budget::wall_clock(Duration::from_secs(60)).start();
+        let deadline = clock.deadline().expect("wall-clock budget has a deadline");
+        assert!(deadline > Instant::now());
+        assert!(Budget::evals(5).start().deadline().is_none());
     }
 
     #[test]

@@ -11,8 +11,20 @@
 //!
 //! The cache is thread-safe (`&self` everywhere) so a
 //! [`crate::batch::BatchEvaluator`] can share it across workers, and it
-//! keeps hit / miss / saved-wall-clock counters that
+//! keeps hit / miss / eviction / saved-wall-clock counters that
 //! [`crate::report::cache_stats_markdown`] renders.
+//!
+//! By default a cache is unbounded; [`EvalCache::with_capacity`] caps
+//! the entry count with least-recently-used eviction, for long searches
+//! over large pipeline spaces where the memo would otherwise grow
+//! without limit.
+//!
+//! Failed evaluations are memoizable too — a pipeline that produces
+//! non-finite output does so deterministically, so its worst-error
+//! trial is as reusable as a real score. The one exception is
+//! [`crate::FailureKind::Deadline`]: running out of wall-clock is a
+//! property of the run, not the pipeline, so deadline failures are
+//! never stored.
 //!
 //! ```
 //! use autofp_core::{EvalCache, EvalConfig, Evaluator};
@@ -31,13 +43,14 @@
 //! assert_eq!((stats.hits, stats.misses), (1, 1));
 //! ```
 
+use crate::error::FailureKind;
 use crate::evaluator::EvalConfig;
 use crate::history::Trial;
 use autofp_preprocess::Pipeline;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// The identity of one evaluation: pipeline (kinds *and* parameters),
@@ -87,7 +100,7 @@ impl CacheKey {
 /// FNV-1a: tiny, dependency-free, and stable across platforms and
 /// compiler versions (unlike `DefaultHasher`, whose algorithm is
 /// unspecified).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         hash ^= b as u64;
@@ -96,7 +109,7 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Hit / miss / saved-time counters of an [`EvalCache`].
+/// Hit / miss / eviction / saved-time counters of an [`EvalCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups satisfied from the cache (including within-batch
@@ -106,6 +119,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct memoized trials.
     pub entries: usize,
+    /// Entries dropped by the LRU capacity cap (0 when unbounded).
+    pub evictions: u64,
     /// Prep + Train wall-clock the hits would have re-spent.
     pub saved: Duration,
 }
@@ -126,6 +141,30 @@ impl CacheStats {
     }
 }
 
+/// Map + recency index guarded by one mutex so the two can never skew.
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// canonical key -> (trial, recency stamp of last touch).
+    entries: HashMap<String, (Trial, u64)>,
+    /// recency stamp -> canonical key; first entry is least recent.
+    /// Stamps are unique (monotonic tick), so this is a faithful queue.
+    recency: BTreeMap<u64, String>,
+    /// Monotonic logical clock for stamps.
+    tick: u64,
+}
+
+impl CacheInner {
+    fn touch(&mut self, canonical: &str) {
+        self.tick += 1;
+        let stamp = self.tick;
+        if let Some((_, old)) = self.entries.get_mut(canonical) {
+            self.recency.remove(old);
+            *old = stamp;
+            self.recency.insert(stamp, canonical.to_string());
+        }
+    }
+}
+
 /// A thread-safe memo of finished [`Trial`]s.
 ///
 /// All methods take `&self`; internal state is a mutex-guarded map plus
@@ -139,22 +178,52 @@ impl CacheStats {
 /// wall-clock that was actually avoided.
 #[derive(Debug, Default)]
 pub struct EvalCache {
-    map: Mutex<HashMap<String, Trial>>,
+    inner: Mutex<CacheInner>,
+    /// `None` = unbounded (the default).
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     saved_nanos: AtomicU64,
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> EvalCache {
         EvalCache::default()
     }
 
+    /// An empty cache holding at most `capacity` entries, evicting the
+    /// least recently used entry on overflow. `capacity` 0 disables
+    /// memoization entirely (every insert is immediately evicted).
+    pub fn with_capacity(capacity: usize) -> EvalCache {
+        EvalCache { capacity: Some(capacity), ..EvalCache::default() }
+    }
+
+    /// The entry cap, if one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// A worker thread panicking mid-batch (contained by the batch
+    /// layer) may poison this mutex; counter-and-memo state stays
+    /// coherent because every mutation holds the lock for its full
+    /// map+recency update, so recovering the guard is sound.
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Look up a memoized trial. Records a hit (and the saved Prep +
-    /// Train time) or a miss.
+    /// Train time) or a miss, and refreshes the entry's recency.
     pub fn lookup(&self, key: &CacheKey) -> Option<Trial> {
-        let found = self.map.lock().expect("cache lock").get(key.canonical()).cloned();
+        let found = {
+            let mut inner = self.lock();
+            let found = inner.entries.get(key.canonical()).map(|(t, _)| t.clone());
+            if found.is_some() {
+                inner.touch(key.canonical());
+            }
+            found
+        };
         match &found {
             Some(trial) => self.note_hit(trial),
             None => {
@@ -164,10 +233,16 @@ impl EvalCache {
         found
     }
 
-    /// Peek without touching the counters (used by batch dedup, which
-    /// does its own accounting).
+    /// Peek without touching the hit/miss counters (used by batch
+    /// dedup, which does its own accounting). Still refreshes recency —
+    /// a peek is a use.
     pub(crate) fn peek(&self, key: &CacheKey) -> Option<Trial> {
-        self.map.lock().expect("cache lock").get(key.canonical()).cloned()
+        let mut inner = self.lock();
+        let found = inner.entries.get(key.canonical()).map(|(t, _)| t.clone());
+        if found.is_some() {
+            inner.touch(key.canonical());
+        }
+        found
     }
 
     /// Record a hit that was satisfied outside [`EvalCache::lookup`]
@@ -183,17 +258,46 @@ impl EvalCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Memoize a finished trial.
+    /// Memoize a finished trial, evicting the least recently used
+    /// entry when a capacity cap is exceeded.
+    ///
+    /// Deterministic failures (non-finite, degenerate, diverged,
+    /// panic) are cached like successes — re-proposing the pipeline
+    /// would fail identically. Deadline failures are circumstantial
+    /// and are *not* stored.
     pub fn insert(&self, key: &CacheKey, trial: &Trial) {
-        self.map
-            .lock()
-            .expect("cache lock")
-            .insert(key.canonical().to_string(), trial.clone());
+        if trial.failure == Some(FailureKind::Deadline) {
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let stamp = inner.tick;
+            if let Some((_, old_stamp)) =
+                inner.entries.insert(key.canonical().to_string(), (trial.clone(), stamp))
+            {
+                inner.recency.remove(&old_stamp);
+            }
+            inner.recency.insert(stamp, key.canonical().to_string());
+            if let Some(cap) = self.capacity {
+                while inner.entries.len() > cap {
+                    let Some((&oldest, _)) = inner.recency.iter().next() else { break };
+                    if let Some(victim) = inner.recency.remove(&oldest) {
+                        inner.entries.remove(&victim);
+                        evicted += 1;
+                    }
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Number of memoized trials.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.lock().entries.len()
     }
 
     /// True when nothing is memoized yet.
@@ -207,6 +311,7 @@ impl EvalCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
             saved: Duration::from_nanos(self.saved_nanos.load(Ordering::Relaxed)),
         }
     }
@@ -226,7 +331,12 @@ mod tests {
             prep_time: Duration::from_millis(3),
             train_time: Duration::from_millis(5),
             train_fraction: 1.0,
+            failure: None,
         }
+    }
+
+    fn key_for(kind: PreprocKind) -> CacheKey {
+        CacheKey::new(&Pipeline::from_kinds(&[kind]), 1.0, &EvalConfig::default())
     }
 
     #[test]
@@ -301,6 +411,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
         assert_eq!(stats.saved, Duration::from_millis(8));
+        assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -326,5 +437,81 @@ mod tests {
         assert_eq!(s.lookups(), 0);
         assert_eq!(s.hit_rate(), 0.0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = EvalCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        let p = |k| Pipeline::from_kinds(&[k]);
+        cache.insert(&key_for(PreprocKind::Binarizer), &trial_for(&p(PreprocKind::Binarizer), 0.1));
+        cache.insert(
+            &key_for(PreprocKind::Normalizer),
+            &trial_for(&p(PreprocKind::Normalizer), 0.2),
+        );
+        // Touch Binarizer so Normalizer becomes the LRU victim.
+        assert!(cache.lookup(&key_for(PreprocKind::Binarizer)).is_some());
+        cache.insert(
+            &key_for(PreprocKind::MinMaxScaler),
+            &trial_for(&p(PreprocKind::MinMaxScaler), 0.3),
+        );
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key_for(PreprocKind::Normalizer)).is_none());
+        assert!(cache.lookup(&key_for(PreprocKind::Binarizer)).is_some());
+        assert!(cache.lookup(&key_for(PreprocKind::MinMaxScaler)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_grow_or_evict() {
+        let cache = EvalCache::with_capacity(1);
+        let p = Pipeline::from_kinds(&[PreprocKind::Binarizer]);
+        let key = key_for(PreprocKind::Binarizer);
+        cache.insert(&key, &trial_for(&p, 0.1));
+        cache.insert(&key, &trial_for(&p, 0.6));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.lookup(&key).unwrap().accuracy, 0.6);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let cache = EvalCache::with_capacity(0);
+        let p = Pipeline::from_kinds(&[PreprocKind::Binarizer]);
+        let key = key_for(PreprocKind::Binarizer);
+        cache.insert(&key, &trial_for(&p, 0.4));
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn default_cache_is_unbounded() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.capacity(), None);
+        for (i, a) in PreprocKind::ALL.into_iter().enumerate() {
+            for b in PreprocKind::ALL {
+                let p = Pipeline::from_kinds(&[a, b]);
+                cache.insert(
+                    &CacheKey::new(&p, 1.0, &EvalConfig::default()),
+                    &trial_for(&p, 0.01 * i as f64),
+                );
+            }
+        }
+        assert_eq!(cache.len(), PreprocKind::ALL.len() * PreprocKind::ALL.len());
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn deadline_failures_are_never_cached() {
+        use crate::error::FailureKind;
+        let cache = EvalCache::new();
+        let p = Pipeline::from_kinds(&[PreprocKind::Binarizer]);
+        let key = key_for(PreprocKind::Binarizer);
+        cache.insert(&key, &Trial::failed(p.clone(), FailureKind::Deadline, 1.0));
+        assert!(cache.is_empty());
+        // Deterministic failures are memoized like successes.
+        cache.insert(&key, &Trial::failed(p, FailureKind::Panic, 1.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key).unwrap().failure, Some(FailureKind::Panic));
     }
 }

@@ -1,11 +1,35 @@
 //! Pipeline-error evaluation (Eq. 2 / Definition 3 of the paper).
+//!
+//! # Fault tolerance
+//!
+//! Evaluation is the one place a search run touches numerically
+//! hostile code (preprocessor math, trainer loops), so it is the one
+//! place failures are contained. The [`Evaluate`] trait splits the
+//! path in two:
+//!
+//! - [`Evaluate::evaluate_raw`] is the *unshielded* required method:
+//!   it returns `Result<Trial, EvalError>` for failures it can detect,
+//!   but is allowed to panic.
+//! - The provided `try_*` methods are the *shielded* entry points:
+//!   they wrap `evaluate_raw` in [`std::panic::catch_unwind`], so one
+//!   panicking pipeline costs one [`EvalError::Panic`] — never the
+//!   run. Searchers and the batch layer only ever call these.
+//!
+//! A failed evaluation is converted (by [`evaluate_or_worst`], the
+//! batch layer, or the search framework) into a worst-error trial:
+//! accuracy 0, error 1 per Eq. 2, mirroring scikit-learn's
+//! `error_score` convention, so every searcher keeps running
+//! deterministically through faults.
 
 use crate::cache::{CacheKey, EvalCache};
+use crate::error::EvalError;
 use crate::history::Trial;
 use autofp_data::{Dataset, Split};
 use autofp_models::classifier::{ModelKind, Trainer};
 use autofp_models::metrics::accuracy;
+use autofp_models::CancelToken;
 use autofp_preprocess::Pipeline;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Configuration of an evaluator.
@@ -30,6 +54,95 @@ impl Default for EvalConfig {
     }
 }
 
+/// Best-effort rendering of a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The pipeline-evaluation interface searchers and the batch layer
+/// program against.
+///
+/// [`Evaluator`] is the real implementation; [`crate::FaultInjector`]
+/// wraps any implementation to inject deterministic faults for
+/// resilience testing. `&Evaluator` coerces to `&dyn Evaluate` at
+/// call sites, so code written against the concrete type keeps
+/// compiling.
+pub trait Evaluate: Send + Sync {
+    /// Evaluate `pipeline` at training-budget `fraction`, polling
+    /// `cancel` inside trainer loops.
+    ///
+    /// This is the unshielded method: it reports detectable failures
+    /// as `Err`, but **may panic** (a fault injector does so on
+    /// purpose). Callers must go through the shielded `try_*` methods
+    /// instead of calling this directly.
+    fn evaluate_raw(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError>;
+
+    /// The evaluation configuration (used for cache keys).
+    fn config(&self) -> &EvalConfig;
+
+    /// Validation accuracy with no preprocessing (the paper's "no-FP"
+    /// baseline).
+    fn baseline_accuracy(&self) -> f64;
+
+    /// Number of training rows this evaluator fits on.
+    fn train_rows(&self) -> usize;
+
+    /// Shielded evaluation with cooperative cancellation: catches any
+    /// panic from [`Evaluate::evaluate_raw`] and maps it to
+    /// [`EvalError::Panic`], so one pathological pipeline costs one
+    /// trial, never the run.
+    fn try_evaluate_cancellable(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        if cancel.is_cancelled() {
+            return Err(EvalError::DeadlineExceeded);
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.evaluate_raw(pipeline, fraction, cancel))) {
+            Ok(result) => result,
+            Err(payload) => Err(EvalError::Panic { message: panic_message(payload.as_ref()) }),
+        }
+    }
+
+    /// Shielded evaluation without a deadline.
+    fn try_evaluate_budgeted(&self, pipeline: &Pipeline, fraction: f64) -> Result<Trial, EvalError> {
+        self.try_evaluate_cancellable(pipeline, fraction, &CancelToken::new())
+    }
+
+    /// Shielded evaluation at full training budget.
+    fn try_evaluate(&self, pipeline: &Pipeline) -> Result<Trial, EvalError> {
+        self.try_evaluate_budgeted(pipeline, 1.0)
+    }
+}
+
+/// Shielded evaluation that never fails: an `Err` becomes the
+/// worst-error trial for `pipeline` (accuracy 0, error 1, tagged with
+/// the [`crate::FailureKind`]). This is the total function searchers
+/// rely on to keep running through faults.
+pub fn evaluate_or_worst(
+    evaluator: &dyn Evaluate,
+    pipeline: &Pipeline,
+    fraction: f64,
+    cancel: &CancelToken,
+) -> Trial {
+    evaluator
+        .try_evaluate_cancellable(pipeline, fraction, cancel)
+        .unwrap_or_else(|err| Trial::failed(pipeline.clone(), err.kind(), fraction.clamp(0.0, 1.0)))
+}
+
 /// Evaluates pipelines: transform train+valid, train the downstream
 /// model, report validation accuracy — with per-phase timing.
 ///
@@ -41,6 +154,13 @@ pub struct Evaluator {
     trainer: Box<dyn Trainer>,
     config: EvalConfig,
     baseline: f64,
+    // Whether the raw train/valid inputs are fully finite. Non-finite
+    // *output* of a preprocessor is only an evaluation failure when
+    // the input was finite; datasets that arrive with NaN/inf columns
+    // are the trainers' job to tolerate (they sanitize), matching the
+    // poisoned-dataset tests.
+    train_input_finite: bool,
+    valid_input_finite: bool,
 }
 
 // Compile-time proof of the Sync-friendliness the batch layer relies
@@ -49,6 +169,10 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Evaluator>();
 };
+
+fn all_finite(m: &autofp_linalg::Matrix) -> bool {
+    m.as_slice().iter().all(|v| v.is_finite())
+}
 
 impl Evaluator {
     /// Build from a dataset: performs the stratified 80:20 split, then
@@ -64,7 +188,16 @@ impl Evaluator {
             split.train = split.train.subsample(cap, config.seed);
         }
         let trainer = config.model.trainer(config.seed);
-        let mut ev = Evaluator { split, trainer, config, baseline: 0.0 };
+        let train_input_finite = all_finite(&split.train.x);
+        let valid_input_finite = all_finite(&split.valid.x);
+        let mut ev = Evaluator {
+            split,
+            trainer,
+            config,
+            baseline: 0.0,
+            train_input_finite,
+            valid_input_finite,
+        };
         ev.baseline = ev.evaluate(&Pipeline::empty()).accuracy;
         ev
     }
@@ -76,12 +209,15 @@ impl Evaluator {
 
     /// The configuration this evaluator was built with (cache keys
     /// include it, so trials never leak across configurations).
+    /// Inherent mirror of [`Evaluate::config`] so callers don't need
+    /// the trait in scope.
     pub fn config(&self) -> &EvalConfig {
         &self.config
     }
 
     /// Validation accuracy with no preprocessing (the paper's "no-FP"
     /// red line in Figure 2 and the baseline of the ranking filter).
+    /// Inherent mirror of [`Evaluate::baseline_accuracy`].
     pub fn baseline_accuracy(&self) -> f64 {
         self.baseline
     }
@@ -92,39 +228,19 @@ impl Evaluator {
     }
 
     /// Evaluate a pipeline at full training budget.
+    ///
+    /// Infallible wrapper: a failed evaluation yields the worst-error
+    /// trial rather than an `Err` (use [`Evaluate::try_evaluate`] to
+    /// observe the failure itself).
     pub fn evaluate(&self, pipeline: &Pipeline) -> Trial {
         self.evaluate_budgeted(pipeline, 1.0)
     }
 
     /// Evaluate a pipeline with a fractional training budget (Hyperband
-    /// rungs pass `fraction < 1`).
+    /// rungs pass `fraction < 1`). Infallible: failures become
+    /// worst-error trials.
     pub fn evaluate_budgeted(&self, pipeline: &Pipeline, fraction: f64) -> Trial {
-        // Prep: fit on train, transform train + valid.
-        let prep_start = Instant::now();
-        let (fitted, train_x) = pipeline.fit_transform(&self.split.train.x);
-        let valid_x = fitted.transform_new(&self.split.valid.x);
-        let prep_time = prep_start.elapsed();
-
-        // Train: fit the downstream model and score validation data.
-        let train_start = Instant::now();
-        let model = self.trainer.fit_budgeted(
-            &train_x,
-            &self.split.train.y,
-            self.split.train.n_classes,
-            fraction,
-        );
-        let preds = model.predict(&valid_x);
-        let train_time = train_start.elapsed();
-
-        let acc = accuracy(&self.split.valid.y, &preds);
-        Trial {
-            pipeline: pipeline.clone(),
-            accuracy: acc,
-            error: 1.0 - acc,
-            prep_time,
-            train_time,
-            train_fraction: fraction.clamp(0.0, 1.0),
-        }
+        evaluate_or_worst(self, pipeline, fraction, &CancelToken::new())
     }
 
     /// Evaluate through a cache: a hit returns the memoized [`Trial`]
@@ -145,6 +261,96 @@ impl Evaluator {
         let trial = self.evaluate_budgeted(pipeline, fraction);
         cache.insert(&key, &trial);
         trial
+    }
+}
+
+impl Evaluate for Evaluator {
+    fn evaluate_raw(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        // Prep: fit on train, transform train + valid.
+        let prep_start = Instant::now();
+        let (fitted, train_x) = pipeline.fit_transform(&self.split.train.x);
+        let valid_x = fitted.transform_new(&self.split.valid.x);
+        let prep_time = prep_start.elapsed();
+
+        // A preprocessor that maps finite input to NaN/inf has failed
+        // (e.g. a power transform overflowing on heavy tails). Inputs
+        // that were already non-finite are exempt: trainers sanitize.
+        if self.train_input_finite && !all_finite(&train_x) {
+            return Err(EvalError::NonFiniteTransform {
+                detail: format!("train matrix after `{}`", pipeline.key()),
+            });
+        }
+        if self.valid_input_finite && !all_finite(&valid_x) {
+            return Err(EvalError::NonFiniteTransform {
+                detail: format!("valid matrix after `{}`", pipeline.key()),
+            });
+        }
+
+        // Degenerate shapes no trainer can fit. Kept deliberately
+        // narrow: constant or low-information features still train
+        // (the model falls back toward majority-class behavior).
+        let (n, d) = train_x.shape();
+        if n == 0 || d == 0 {
+            return Err(EvalError::DegenerateMatrix {
+                detail: format!("train matrix is {n}x{d}"),
+            });
+        }
+
+        if cancel.is_cancelled() {
+            return Err(EvalError::DeadlineExceeded);
+        }
+
+        // Train: fit the downstream model and score validation data.
+        let train_start = Instant::now();
+        let model = self.trainer.fit_cancellable(
+            &train_x,
+            &self.split.train.y,
+            self.split.train.n_classes,
+            fraction,
+            cancel,
+        );
+        let preds = model.predict(&valid_x);
+        let train_time = train_start.elapsed();
+
+        // The deadline passing *during* the fit means the model above
+        // is partially trained by an amount that depends on wall-clock
+        // scheduling; recording its score would be nondeterministic.
+        if cancel.is_cancelled() {
+            return Err(EvalError::DeadlineExceeded);
+        }
+
+        let acc = accuracy(&self.split.valid.y, &preds);
+        if !acc.is_finite() {
+            return Err(EvalError::TrainerDiverged {
+                detail: format!("validation accuracy = {acc}"),
+            });
+        }
+        Ok(Trial {
+            pipeline: pipeline.clone(),
+            accuracy: acc,
+            error: 1.0 - acc,
+            prep_time,
+            train_time,
+            train_fraction: fraction.clamp(0.0, 1.0),
+            failure: None,
+        })
+    }
+
+    fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    fn baseline_accuracy(&self) -> f64 {
+        self.baseline
+    }
+
+    fn train_rows(&self) -> usize {
+        self.split.train.n_rows()
     }
 }
 
@@ -202,6 +408,7 @@ mod tests {
         let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::PowerTransformer]));
         assert!(t.prep_time.as_nanos() > 0);
         assert!(t.train_time.as_nanos() > 0);
+        assert!(!t.is_failed());
     }
 
     #[test]
@@ -220,6 +427,7 @@ mod tests {
             EvalConfig { train_subsample: Some(50), ..Default::default() },
         );
         assert_eq!(ev.split().train.n_rows(), 50);
+        assert_eq!(ev.train_rows(), 50);
         // Validation keeps its full 20%.
         assert_eq!(ev.split().valid.n_rows(), 80);
         let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::StandardScaler]));
@@ -234,5 +442,62 @@ mod tests {
             let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]));
             assert!((0.0..=1.0).contains(&t.accuracy), "{model}: {}", t.accuracy);
         }
+    }
+
+    #[test]
+    fn try_evaluate_succeeds_on_healthy_data() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let t = ev.try_evaluate(&Pipeline::from_kinds(&[PreprocKind::StandardScaler]));
+        let t = t.expect("healthy pipeline evaluates");
+        assert!(t.accuracy.is_finite());
+        assert!(t.failure.is_none());
+    }
+
+    #[test]
+    fn pre_cancelled_token_is_deadline_error() {
+        let d = scale_spread_dataset();
+        let ev = Evaluator::new(&d, EvalConfig::default());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = ev
+            .try_evaluate_cancellable(&Pipeline::empty(), 1.0, &cancel)
+            .unwrap_err();
+        assert_eq!(err, EvalError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn worst_error_fallback_tags_failure() {
+        struct AlwaysPanics(EvalConfig);
+        impl Evaluate for AlwaysPanics {
+            fn evaluate_raw(
+                &self,
+                _p: &Pipeline,
+                _f: f64,
+                _c: &CancelToken,
+            ) -> Result<Trial, EvalError> {
+                panic!("boom from test evaluator");
+            }
+            fn config(&self) -> &EvalConfig {
+                &self.0
+            }
+            fn baseline_accuracy(&self) -> f64 {
+                0.5
+            }
+            fn train_rows(&self) -> usize {
+                0
+            }
+        }
+        let ev = AlwaysPanics(EvalConfig::default());
+        let p = Pipeline::from_kinds(&[PreprocKind::Binarizer]);
+        // Silence the expected panic's default hook output.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = ev.try_evaluate(&p).unwrap_err();
+        let t = evaluate_or_worst(&ev, &p, 1.0, &CancelToken::new());
+        std::panic::set_hook(prev);
+        assert!(matches!(err, EvalError::Panic { ref message } if message.contains("boom")));
+        assert_eq!(t.error, 1.0);
+        assert_eq!(t.failure, Some(crate::error::FailureKind::Panic));
     }
 }

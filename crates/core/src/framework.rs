@@ -9,9 +9,11 @@
 
 use crate::batch::BatchEvaluator;
 use crate::budget::{Budget, BudgetClock};
-use crate::cache::{CacheStats, EvalCache};
-use crate::evaluator::Evaluator;
+use crate::cache::{CacheKey, CacheStats, EvalCache};
+use crate::error::FailureStats;
+use crate::evaluator::{evaluate_or_worst, Evaluate};
 use crate::history::{PhaseBreakdown, Trial, TrialHistory};
+use autofp_models::CancelToken;
 use autofp_preprocess::Pipeline;
 use std::time::{Duration, Instant};
 
@@ -38,27 +40,37 @@ pub trait Searcher {
 /// attached via [`SearchContext::attach_cache`] — serves duplicate
 /// proposals from memory.
 pub struct SearchContext<'a> {
-    evaluator: &'a Evaluator,
+    evaluator: &'a dyn Evaluate,
     clock: BudgetClock,
     history: TrialHistory,
     pick_time: Duration,
     last_eval_end: Instant,
     cache: Option<&'a EvalCache>,
     batch_threads: usize,
+    /// Armed with the wall-clock deadline (when one is configured):
+    /// trainer loops poll it, so a fit in flight when time runs out
+    /// returns at its next epoch boundary instead of overrunning.
+    cancel: CancelToken,
 }
 
 impl<'a> SearchContext<'a> {
     /// Start a context over an evaluator with a budget.
-    pub fn new(evaluator: &'a Evaluator, budget: Budget) -> SearchContext<'a> {
+    pub fn new(evaluator: &'a dyn Evaluate, budget: Budget) -> SearchContext<'a> {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let clock = budget.start();
+        let cancel = match clock.deadline() {
+            Some(deadline) => CancelToken::with_deadline(deadline),
+            None => CancelToken::new(),
+        };
         SearchContext {
             evaluator,
-            clock: budget.start(),
+            clock,
             history: TrialHistory::new(),
             pick_time: Duration::ZERO,
             last_eval_end: Instant::now(),
             cache: None,
             batch_threads: threads,
+            cancel,
         }
     }
 
@@ -101,9 +113,22 @@ impl<'a> SearchContext<'a> {
         }
         // Time since the previous evaluation ended is algorithm overhead.
         self.pick_time += self.last_eval_end.elapsed();
+        // Every path is shielded: a failed or panicking evaluation
+        // becomes a worst-error trial and the search continues.
         let trial = match self.cache {
-            Some(cache) => self.evaluator.evaluate_cached(pipeline, fraction, cache),
-            None => self.evaluator.evaluate_budgeted(pipeline, fraction),
+            Some(cache) => {
+                let key = CacheKey::new(pipeline, fraction, self.evaluator.config());
+                match cache.lookup(&key) {
+                    Some(trial) => trial,
+                    None => {
+                        let trial =
+                            evaluate_or_worst(self.evaluator, pipeline, fraction, &self.cancel);
+                        cache.insert(&key, &trial);
+                        trial
+                    }
+                }
+            }
+            None => evaluate_or_worst(self.evaluator, pipeline, fraction, &self.cancel),
         };
         self.clock.note_eval(fraction);
         self.last_eval_end = Instant::now();
@@ -142,7 +167,9 @@ impl<'a> SearchContext<'a> {
         };
         let pipelines = &pipelines[..keep];
         self.pick_time += self.last_eval_end.elapsed();
-        let mut batch = BatchEvaluator::new(self.evaluator).with_threads(self.batch_threads);
+        let mut batch = BatchEvaluator::new(self.evaluator)
+            .with_threads(self.batch_threads)
+            .with_cancel(self.cancel.clone());
         if let Some(cache) = self.cache {
             batch = batch.with_cache(cache);
         }
@@ -163,7 +190,7 @@ impl<'a> SearchContext<'a> {
     /// Training-set size (rows), available to algorithms that scale
     /// their own parameters (e.g. Hyperband's resource unit).
     pub fn train_rows(&self) -> usize {
-        self.evaluator.split().train.n_rows()
+        self.evaluator.train_rows()
     }
 
     /// History so far.
@@ -177,6 +204,7 @@ impl<'a> SearchContext<'a> {
         SearchOutcome {
             algorithm,
             breakdown: PhaseBreakdown { pick: self.pick_time, prep, train },
+            failures: FailureStats::from_history(&self.history),
             history: self.history,
             elapsed: self.clock.elapsed(),
             cache: self.cache.map(|c| c.stats()),
@@ -193,6 +221,8 @@ pub struct SearchOutcome {
     pub history: TrialHistory,
     /// Pick/Prep/Train time attribution (Figure 7).
     pub breakdown: PhaseBreakdown,
+    /// Count of failed (worst-error) trials, by failure kind.
+    pub failures: FailureStats,
     /// Total wall-clock time of the run.
     pub elapsed: Duration,
     /// Snapshot of the attached [`EvalCache`]'s statistics at finish
@@ -215,7 +245,7 @@ impl SearchOutcome {
 /// Run a searcher against an evaluator under a budget.
 pub fn run_search(
     searcher: &mut dyn Searcher,
-    evaluator: &Evaluator,
+    evaluator: &dyn Evaluate,
     budget: Budget,
 ) -> SearchOutcome {
     let mut ctx = SearchContext::new(evaluator, budget);
@@ -228,7 +258,7 @@ pub fn run_search(
 /// from memory, and the outcome carries the cache statistics.
 pub fn run_search_cached(
     searcher: &mut dyn Searcher,
-    evaluator: &Evaluator,
+    evaluator: &dyn Evaluate,
     budget: Budget,
     cache: &EvalCache,
 ) -> SearchOutcome {
@@ -241,7 +271,7 @@ pub fn run_search_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::EvalConfig;
+    use crate::evaluator::{EvalConfig, Evaluator};
     use autofp_data::SynthConfig;
     use autofp_preprocess::{ParamSpace, PreprocKind};
 

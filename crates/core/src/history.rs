@@ -1,5 +1,7 @@
 //! Trial records and search histories.
 
+use crate::error::FailureKind;
+use crate::order::nan_smallest;
 use autofp_preprocess::Pipeline;
 use std::time::Duration;
 
@@ -18,6 +20,33 @@ pub struct Trial {
     pub train_time: Duration,
     /// Fraction of the trainer's iteration budget spent (1.0 = full).
     pub train_fraction: f64,
+    /// `Some(kind)` when the evaluation failed and this trial records
+    /// the worst-error placeholder (accuracy 0, error 1) instead of a
+    /// real measurement; `None` for a successful evaluation.
+    pub failure: Option<FailureKind>,
+}
+
+impl Trial {
+    /// The worst-error placeholder for a failed evaluation: accuracy
+    /// 0.0 and error 1.0 (Eq. 2's maximum), zero timings, tagged with
+    /// the failure kind. Mirrors scikit-learn's `error_score=0`
+    /// convention so searchers keep running and steer away.
+    pub fn failed(pipeline: Pipeline, kind: FailureKind, train_fraction: f64) -> Trial {
+        Trial {
+            pipeline,
+            accuracy: 0.0,
+            error: 1.0,
+            prep_time: Duration::ZERO,
+            train_time: Duration::ZERO,
+            train_fraction,
+            failure: Some(kind),
+        }
+    }
+
+    /// True when this trial records a failed evaluation.
+    pub fn is_failed(&self) -> bool {
+        self.failure.is_some()
+    }
 }
 
 /// The evaluated-pipeline history of one search run.
@@ -54,16 +83,18 @@ impl TrialHistory {
 
     /// Best *fully trained* trial by accuracy (partial Hyperband rungs are
     /// not comparable and are excluded unless nothing else exists).
+    /// NaN accuracies rank below every real score, so a corrupted
+    /// trial can never be selected as best (and never panics here).
     pub fn best(&self) -> Option<&Trial> {
         let full = self
             .trials
             .iter()
             .filter(|t| t.train_fraction >= 1.0 - 1e-9)
-            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("NaN accuracy"));
+            .max_by(|a, b| nan_smallest(&a.accuracy, &b.accuracy));
         full.or_else(|| {
             self.trials
                 .iter()
-                .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).expect("NaN accuracy"))
+                .max_by(|a, b| nan_smallest(&a.accuracy, &b.accuracy))
         })
     }
 
@@ -130,6 +161,7 @@ mod tests {
             prep_time: Duration::from_millis(1),
             train_time: Duration::from_millis(2),
             train_fraction: frac,
+            failure: None,
         }
     }
 
@@ -147,6 +179,35 @@ mod tests {
         let mut h = TrialHistory::new();
         h.push(trial(0.6, 0.5));
         assert_eq!(h.best().unwrap().accuracy, 0.6);
+    }
+
+    #[test]
+    fn best_ranks_nan_last_without_panicking() {
+        // Regression: `best()` used to panic on NaN accuracy via
+        // `partial_cmp().expect`. NaN must lose to any real score.
+        let mut h = TrialHistory::new();
+        h.push(trial(f64::NAN, 1.0));
+        h.push(trial(0.4, 1.0));
+        h.push(trial(f64::NAN, 1.0));
+        assert_eq!(h.best().unwrap().accuracy, 0.4);
+        // All-NaN history still returns *something* rather than panic.
+        let mut all_nan = TrialHistory::new();
+        all_nan.push(trial(f64::NAN, 1.0));
+        assert!(all_nan.best().unwrap().accuracy.is_nan());
+    }
+
+    #[test]
+    fn failed_trial_is_worst_error() {
+        let t = Trial::failed(
+            Pipeline::from_kinds(&[PreprocKind::Binarizer]),
+            FailureKind::Panic,
+            1.0,
+        );
+        assert!(t.is_failed());
+        assert_eq!(t.accuracy, 0.0);
+        assert_eq!(t.error, 1.0);
+        assert_eq!(t.prep_time, Duration::ZERO);
+        assert_eq!(t.failure, Some(FailureKind::Panic));
     }
 
     #[test]

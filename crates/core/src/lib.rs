@@ -21,13 +21,24 @@
 //!   across a worker pool, and [`cache::EvalCache`] memoizes trials by
 //!   a stable pipeline fingerprint — together they attack the paper's
 //!   §5 finding that evaluation dominates search time.
+//! * Evaluation is fault-tolerant end to end: [`error::EvalError`]
+//!   classifies failures (non-finite transforms, degenerate matrices,
+//!   trainer divergence, panics, deadline overruns), the
+//!   [`evaluator::Evaluate`] trait shields every call with
+//!   `catch_unwind`, failed pipelines become worst-error trials
+//!   (error = 1.0, Eq. 2) so searches keep running deterministically,
+//!   and [`fault::FaultInjector`] exercises all of it under a seeded,
+//!   reproducible fault mix.
 
 pub mod batch;
 pub mod budget;
 pub mod cache;
+pub mod error;
 pub mod evaluator;
+pub mod fault;
 pub mod framework;
 pub mod history;
+pub mod order;
 pub mod patterns;
 pub mod report;
 pub mod ranking;
@@ -35,6 +46,9 @@ pub mod ranking;
 pub use batch::BatchEvaluator;
 pub use budget::{Budget, BudgetClock};
 pub use cache::{CacheKey, CacheStats, EvalCache};
-pub use evaluator::{EvalConfig, Evaluator};
+pub use error::{EvalError, FailureKind, FailureStats};
+pub use evaluator::{evaluate_or_worst, Evaluate, EvalConfig, Evaluator};
+pub use fault::{FaultConfig, FaultInjector, InjectedPanic};
 pub use framework::{run_search, run_search_cached, SearchContext, SearchOutcome, Searcher};
 pub use history::{PhaseBreakdown, Trial, TrialHistory};
+pub use order::{nan_largest, nan_smallest};

@@ -1,0 +1,76 @@
+//! Total-order comparison helpers that rank NaN deterministically.
+//!
+//! Search code constantly sorts trials by accuracy or error. With
+//! fault-tolerant evaluation, a score can legitimately be NaN (e.g. a
+//! diverged surrogate prediction), and the idiomatic
+//! `partial_cmp().unwrap()` sort becomes a panic waiting to happen.
+//! These helpers give NaN a fixed, *pessimistic* position instead:
+//! smallest when larger-is-better, largest when smaller-is-better, so
+//! a NaN-scored candidate never wins a selection either way.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64` that places every NaN *below* every number.
+///
+/// Use in larger-is-better contexts (accuracy): `max_by(nan_smallest)`
+/// never selects NaN over a real score, and an ascending sort puts
+/// NaNs first / a descending sort puts them last.
+pub fn nan_smallest(a: &f64, b: &f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Total order on `f64` that places every NaN *above* every number.
+///
+/// Use in smaller-is-better contexts (error, rank, distance):
+/// `min_by(nan_largest)` never selects NaN over a real score, and an
+/// ascending sort puts NaNs last.
+pub fn nan_largest(a: &f64, b: &f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_smallest_ranks_nan_below_everything() {
+        assert_eq!(nan_smallest(&f64::NAN, &f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(nan_smallest(&0.0, &f64::NAN), Ordering::Greater);
+        assert_eq!(nan_smallest(&f64::NAN, &f64::NAN), Ordering::Equal);
+        assert_eq!(nan_smallest(&1.0, &2.0), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_largest_ranks_nan_above_everything() {
+        assert_eq!(nan_largest(&f64::NAN, &f64::INFINITY), Ordering::Greater);
+        assert_eq!(nan_largest(&0.5, &f64::NAN), Ordering::Less);
+        assert_eq!(nan_largest(&2.0, &1.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn max_by_never_picks_nan() {
+        let xs = [0.3, f64::NAN, 0.7, f64::NAN];
+        let best = xs.iter().copied().max_by(nan_smallest).unwrap();
+        assert_eq!(best, 0.7);
+        let worst = xs.iter().copied().min_by(nan_largest).unwrap();
+        assert_eq!(worst, 0.3);
+    }
+
+    #[test]
+    fn sort_is_total_and_deterministic() {
+        let mut xs = [f64::NAN, 1.0, -1.0, f64::NAN, 0.0];
+        xs.sort_by(nan_largest);
+        assert_eq!(&xs[..3], &[-1.0, 0.0, 1.0]);
+        assert!(xs[3].is_nan() && xs[4].is_nan());
+    }
+}

@@ -87,9 +87,12 @@ pub fn mine_frequent_subsequences(
         level += 1;
     }
     frequent.sort_by(|a, b| {
+        // Invariant, not NaN-reachable: support = count / n where the
+        // empty-input case returned early, so n > 0 and support is
+        // always finite.
         b.support
             .partial_cmp(&a.support)
-            .expect("finite support")
+            .expect("support is count/total, always finite")
             .then(a.kinds.len().cmp(&b.kinds.len()))
             .then(a.kinds.cmp(&b.kinds))
     });

@@ -67,7 +67,8 @@ pub fn average_rankings(scenarios: &[Scenario], threshold: f64) -> (Vec<f64>, us
 /// Order algorithm indices by ascending average rank (best first).
 pub fn order_by_rank(avg_ranks: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..avg_ranks.len()).collect();
-    idx.sort_by(|&a, &b| avg_ranks[a].partial_cmp(&avg_ranks[b]).expect("NaN rank"));
+    // NaN ranks (no data for an algorithm) sort last, not panic.
+    idx.sort_by(|&a, &b| crate::order::nan_largest(&avg_ranks[a], &avg_ranks[b]));
     idx
 }
 

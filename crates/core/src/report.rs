@@ -5,23 +5,29 @@
 //! the rendering logic next to the data it renders.
 
 use crate::cache::CacheStats;
+use crate::error::{FailureKind, FailureStats};
 use crate::framework::SearchOutcome;
 use std::fmt::Write as _;
 
 /// Render an outcome's trials as TSV (`index`, `pipeline`, `accuracy`,
-/// `error`, `prep_ms`, `train_ms`, `train_fraction`), with a header row.
+/// `error`, `prep_ms`, `train_ms`, `train_fraction`, `failure`), with a
+/// header row. The `failure` column is `-` for successful trials and
+/// the [`FailureKind`] name for worst-error trials.
 pub fn trials_tsv(outcome: &SearchOutcome) -> String {
-    let mut out = String::from("index\tpipeline\taccuracy\terror\tprep_ms\ttrain_ms\ttrain_fraction\n");
+    let mut out = String::from(
+        "index\tpipeline\taccuracy\terror\tprep_ms\ttrain_ms\ttrain_fraction\tfailure\n",
+    );
     for (i, t) in outcome.history.trials().iter().enumerate() {
         let _ = writeln!(
             out,
-            "{i}\t{}\t{:.6}\t{:.6}\t{:.3}\t{:.3}\t{:.3}",
+            "{i}\t{}\t{:.6}\t{:.6}\t{:.3}\t{:.3}\t{:.3}\t{}",
             t.pipeline,
             t.accuracy,
             t.error,
             t.prep_time.as_secs_f64() * 1e3,
             t.train_time.as_secs_f64() * 1e3,
             t.train_fraction,
+            t.failure.map_or("-", FailureKind::name),
         );
     }
     out
@@ -60,6 +66,32 @@ pub fn summary_markdown(outcome: &SearchOutcome, baseline: f64) -> String {
             stats.saved.as_secs_f64(),
         );
     }
+    if outcome.failures.total() > 0 {
+        let detail: Vec<String> = FailureKind::ALL
+            .iter()
+            .filter(|&&k| outcome.failures.count(k) > 0)
+            .map(|&k| format!("{} {}", outcome.failures.count(k), k.name()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "| failed trials | {} ({}) |",
+            outcome.failures.total(),
+            detail.join(", ")
+        );
+    }
+    out
+}
+
+/// Render a per-run failure tally as a Markdown table (every kind is
+/// listed, including zero rows, so tables are diffable across runs).
+pub fn failure_stats_markdown(stats: &FailureStats) -> String {
+    let mut out = String::from("### Evaluation failures\n\n");
+    let _ = writeln!(out, "| kind | count |");
+    let _ = writeln!(out, "|---|---|");
+    for kind in FailureKind::ALL {
+        let _ = writeln!(out, "| {} | {} |", kind.name(), stats.count(kind));
+    }
+    let _ = writeln!(out, "| **total** | {} |", stats.total());
     out
 }
 
@@ -130,7 +162,36 @@ mod tests {
         let lines: Vec<&str> = tsv.lines().collect();
         assert_eq!(lines.len(), 7);
         assert!(lines[0].starts_with("index\tpipeline"));
-        assert_eq!(lines[1].split('\t').count(), 7);
+        assert_eq!(lines[1].split('\t').count(), 8);
+        assert!(lines[1].ends_with("\t-"), "successful trial renders `-` failure");
+    }
+
+    #[test]
+    fn failure_stats_render_all_kinds() {
+        use crate::error::{FailureKind, FailureStats};
+        let mut stats = FailureStats::new();
+        stats.record(FailureKind::Panic);
+        stats.record(FailureKind::Deadline);
+        stats.record(FailureKind::Deadline);
+        let md = failure_stats_markdown(&stats);
+        for kind in FailureKind::ALL {
+            assert!(md.contains(kind.name()), "missing {}", kind.name());
+        }
+        assert!(md.contains("| panic | 1 |"));
+        assert!(md.contains("| deadline | 2 |"));
+        assert!(md.contains("| **total** | 3 |"));
+        assert!(md.contains("| non-finite | 0 |"));
+    }
+
+    #[test]
+    fn summary_lists_failures_only_when_present() {
+        let (out, baseline) = outcome();
+        let md = summary_markdown(&out, baseline);
+        assert!(!md.contains("failed trials"), "clean run has no failure row");
+        let mut faulty = out.clone();
+        faulty.failures.record(crate::error::FailureKind::Panic);
+        let md = summary_markdown(&faulty, baseline);
+        assert!(md.contains("| failed trials | 1 (1 panic) |"));
     }
 
     #[test]

@@ -105,7 +105,9 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// Quantile of unsorted data (copies and sorts).
 pub fn quantile(xs: &[f64], q: f64) -> f64 {
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    // total_cmp: NaN-laden columns (poisoned datasets) must yield a
+    // deterministic quantile, not a panic; NaNs sort to the top.
+    v.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&v, q)
 }
 
@@ -159,7 +161,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 pub fn average_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in ranks"));
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -1,0 +1,114 @@
+//! Cooperative cancellation for trainer iteration loops.
+//!
+//! Wall-clock search budgets are only consulted *between* evaluations,
+//! so the last evaluation of a run can overshoot the deadline by a full
+//! Prep + Train cycle. A [`CancelToken`] closes that gap: the evaluation
+//! layer arms one with the budget's deadline (or trips it explicitly),
+//! and every [`crate::classifier::Trainer`] checks it once per epoch or
+//! boosting round, abandoning the remaining iterations when it fires.
+//!
+//! Cancellation is *cooperative*: a token never interrupts a running
+//! iteration, it only stops the next one from starting. A token with no
+//! deadline that is never [`CancelToken::cancel`]ed is free to check and
+//! never fires, so deterministic (eval-count-budget) runs behave
+//! identically with and without cancellation support.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared, cloneable cancellation flag with an optional wall-clock
+/// deadline. Clones share the same state: cancelling one cancels all.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that only fires when [`CancelToken::cancel`] is called.
+    pub fn new() -> CancelToken {
+        CancelToken { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None }) }
+    }
+
+    /// A token that additionally fires once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: Some(deadline) }),
+        }
+    }
+
+    /// Trip the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] was called or the deadline (if
+    /// any) has passed. Cheap enough to call once per training epoch.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch, so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The deadline this token was armed with, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_fires_and_latches() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+}

@@ -2,6 +2,7 @@
 
 use autofp_linalg::Matrix;
 
+use crate::cancel::CancelToken;
 use crate::gbdt::GbdtParams;
 use crate::linear::LogisticParams;
 use crate::mlp::MlpParams;
@@ -44,6 +45,26 @@ pub trait Trainer: Send + Sync {
     /// Fit with the full budget.
     fn fit(&self, x: &Matrix, y: &[usize], n_classes: usize) -> Box<dyn Classifier> {
         self.fit_budgeted(x, y, n_classes, 1.0)
+    }
+
+    /// Fit like [`Trainer::fit_budgeted`], additionally polling `cancel`
+    /// between iterations (epochs / boosting rounds) and returning the
+    /// partially trained model early when it fires.
+    ///
+    /// The default implementation ignores the token (correct for
+    /// trainers without an iteration loop); the three paper model
+    /// families override it. A token that never fires must not change
+    /// the result in any implementation.
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
+        let _ = cancel;
+        self.fit_budgeted(x, y, n_classes, budget)
     }
 
     /// Short name for reports ("LR", "XGB", "MLP", ...).

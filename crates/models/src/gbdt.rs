@@ -9,6 +9,7 @@
 //! less sensitive to feature preprocessing than LR/MLP — reproducing the
 //! paper's observation that FP improves XGB in many fewer scenarios.
 
+use crate::cancel::CancelToken;
 use crate::classifier::{Classifier, Trainer};
 use autofp_linalg::dist::softmax_inplace;
 use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
@@ -138,6 +139,17 @@ impl Trainer for GbdtParams {
         n_classes: usize,
         budget: f64,
     ) -> Box<dyn Classifier> {
+        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
+    }
+
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
         let rounds = ((self.n_rounds as f64 * budget.clamp(0.0, 1.0)).round() as usize).max(1);
         let (n, _d) = x.shape();
         assert_eq!(n, y.len());
@@ -153,6 +165,11 @@ impl Trainer for GbdtParams {
         let mut probs = vec![0.0; k];
 
         for round in 0..rounds {
+            // Cooperative cancellation between boosting rounds; a partial
+            // ensemble (at least one round) is a valid model.
+            if round > 0 && cancel.is_cancelled() {
+                break;
+            }
             // Row subsample for this round.
             let rows: Vec<usize> = if self.subsample < 1.0 {
                 let m = ((n as f64 * self.subsample).round() as usize).max(1);

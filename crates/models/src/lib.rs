@@ -13,8 +13,13 @@
 //!
 //! Every trainer implements [`Trainer`] and supports *budgeted* fitting
 //! (a fraction of its iterations), which is what the bandit-based search
-//! algorithms (Hyperband, BOHB) allocate.
+//! algorithms (Hyperband, BOHB) allocate. Trainers also support
+//! *cooperative cancellation* ([`cancel::CancelToken`]): the iteration
+//! loops of all three model families poll a token between epochs /
+//! boosting rounds, so a wall-clock deadline can stop training mid-trial
+//! instead of overshooting by a full fit.
 
+pub mod cancel;
 pub mod classifier;
 pub mod cv;
 pub mod gbdt;
@@ -24,6 +29,7 @@ pub mod mlp;
 pub mod simple;
 pub mod tree;
 
+pub use cancel::CancelToken;
 pub use classifier::{Classifier, ModelKind, Trainer};
 pub use gbdt::{Gbdt, GbdtParams};
 pub use linear::{LogisticRegression, LogisticParams};

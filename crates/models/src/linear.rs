@@ -7,6 +7,7 @@
 //! features slow convergence and cost accuracy, which is precisely the
 //! effect feature preprocessing repairs.
 
+use crate::cancel::CancelToken;
 use crate::classifier::{Classifier, Trainer};
 use autofp_linalg::dist::softmax_inplace;
 use autofp_linalg::Matrix;
@@ -87,6 +88,17 @@ impl Trainer for LogisticParams {
         n_classes: usize,
         budget: f64,
     ) -> Box<dyn Classifier> {
+        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
+    }
+
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
         let (n, d) = x.shape();
         assert_eq!(n, y.len());
         let epochs = ((self.max_epochs as f64 * budget.clamp(0.0, 1.0)).round() as usize).max(1);
@@ -101,6 +113,11 @@ impl Trainer for LogisticParams {
         let mut probs = vec![0.0; k];
         let mut grad = Matrix::zeros(k, d + 1);
         for epoch in 1..=epochs {
+            // Cooperative cancellation: always finish at least one epoch
+            // so the returned model carries a real gradient step.
+            if epoch > 1 && cancel.is_cancelled() {
+                break;
+            }
             grad.as_mut_slice().fill(0.0);
             let mut loss = 0.0;
             for (i, row) in x.rows_iter().enumerate() {
@@ -260,6 +277,23 @@ mod tests {
         for p in model.predict(&x) {
             assert!(p < 2);
         }
+    }
+
+    #[test]
+    fn cancelled_fit_stops_after_one_epoch() {
+        let d = SynthConfig::new("lr-cancel", 200, 6, 2, 3).generate();
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        let params = LogisticParams::default();
+        // A cancelled token still completes exactly one epoch, which is
+        // bit-identical to a one-epoch (zero-budget) fit.
+        let a = params.fit_cancellable(&d.x, &d.y, 2, 1.0, &cancelled).predict(&d.x);
+        let b = params.fit_budgeted(&d.x, &d.y, 2, 0.0).predict(&d.x);
+        assert_eq!(a, b);
+        // An unfired token changes nothing.
+        let c = params.fit_cancellable(&d.x, &d.y, 2, 1.0, &CancelToken::new()).predict(&d.x);
+        let full = params.fit(&d.x, &d.y, 2).predict(&d.x);
+        assert_eq!(c, full);
     }
 
     #[test]

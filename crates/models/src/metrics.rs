@@ -26,7 +26,9 @@ pub fn auc_binary(y_true: &[usize], scores: &[f64]) -> f64 {
         return 0.5;
     }
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // total_cmp instead of partial_cmp: a diverged model can emit NaN
+    // scores, and a metric must never panic on the evaluation path.
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Sum of average ranks of positives (1-based, ties averaged).
     let mut rank_sum = 0.0;
     let mut i = 0;

@@ -200,6 +200,8 @@ impl Classifier for Knn {
                 let diff = clean(*a) - clean(*b);
                 dist += diff * diff;
             }
+            // `unwrap` is unreachable when `best` is empty: the
+            // left operand of `||` is then true and short-circuits.
             if best.len() < self.k || dist < best.last().unwrap().0 {
                 let pos = best.partition_point(|(d2, _)| *d2 <= dist);
                 best.insert(pos, (dist, self.y[i]));

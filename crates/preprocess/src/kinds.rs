@@ -38,6 +38,8 @@ impl PreprocKind {
 
     /// Canonical index in `ALL` (used by encodings and policies).
     pub fn index(self) -> usize {
+        // Invariant: `ALL` enumerates every variant of this enum, so
+        // the position always exists (a unit test walks all kinds).
         Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
     }
 

@@ -7,7 +7,7 @@
 //! paper's Figure 6 parameter sweep.
 
 use crate::mutation::Alphabet;
-use autofp_core::{SearchContext, Searcher};
+use autofp_core::{nan_smallest, SearchContext, Searcher};
 use autofp_linalg::rng::rng_from_seed;
 use autofp_preprocess::{ParamSpace, Pipeline};
 use autofp_surrogate::tpe::CategoricalTpe;
@@ -120,7 +120,9 @@ fn run_bracket(
             scored.push((trial.accuracy, p));
         }
         // Keep the top 1/eta for the next rung.
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN accuracy"));
+        // Descending by accuracy; NaN (if a corrupted score ever
+        // appears) sorts last and is promoted never.
+        scored.sort_by(|a, b| nan_smallest(&b.0, &a.0));
         let keep = ((scored.len() as f64 / driver.eta).floor() as usize).max(1);
         if i < s {
             configs = scored.into_iter().take(keep).map(|(_, p)| p).collect();

@@ -2,7 +2,7 @@
 //! (TEVO_H / TEVO_Y) — the paper's top-ranked category.
 
 use crate::mutation::mutate;
-use autofp_core::{SearchContext, Searcher};
+use autofp_core::{nan_smallest, SearchContext, Searcher};
 use autofp_linalg::rng::rng_from_seed;
 use autofp_preprocess::{ParamSpace, Pipeline};
 use rand::rngs::StdRng;
@@ -99,7 +99,7 @@ impl Searcher for TournamentEvolution {
                 KillStrategy::Worst => population
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.accuracy.partial_cmp(&b.1.accuracy).expect("NaN"))
+                    .min_by(|a, b| nan_smallest(&a.1.accuracy, &b.1.accuracy))
                     .map(|(i, _)| i)
                     .expect("non-empty population"),
                 KillStrategy::Oldest => population
@@ -213,7 +213,7 @@ impl Searcher for Pbt {
                 return;
             }
             // Rank descending by accuracy.
-            population.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("NaN"));
+            population.sort_by(|a, b| nan_smallest(&b.accuracy, &a.accuracy));
             // Propose all k replacements against the frozen generation
             // ranking (mutation sources are top-k members, which the
             // replacements never touch), then evaluate them as one batch.

@@ -3,7 +3,7 @@
 //! surrogate (MLP/LSTM, with/without ensemble): PMNE, PME, PLNE, PLE.
 
 use crate::mutation::Alphabet;
-use autofp_core::{SearchContext, Searcher};
+use autofp_core::{nan_smallest, SearchContext, Searcher};
 use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
 use autofp_linalg::Matrix;
 use autofp_preprocess::encoding::encode_pipeline;
@@ -189,7 +189,9 @@ impl Searcher for ProgressiveNas {
                         scored.push((score, cand));
                     }
                 }
-                scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN surrogate score"));
+                // A diverged surrogate can emit NaN scores; rank them last
+                // instead of panicking mid-search.
+                scored.sort_by(|a, b| nan_smallest(&b.0, &a.0));
                 scored.truncate(self.beam_size);
                 if scored.is_empty() {
                     break;
@@ -216,7 +218,7 @@ impl Searcher for ProgressiveNas {
 fn top_k_of_len(history: &[(Vec<usize>, f64)], len: usize, k: usize) -> Vec<Vec<usize>> {
     let mut of_len: Vec<&(Vec<usize>, f64)> =
         history.iter().filter(|(t, _)| t.len() == len).collect();
-    of_len.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("NaN accuracy"));
+    of_len.sort_by(|a, b| nan_smallest(&b.1, &a.1));
     of_len.into_iter().take(k).map(|(t, _)| t.clone()).collect()
 }
 

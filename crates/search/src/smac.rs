@@ -2,7 +2,7 @@
 //! random-forest surrogate and expected-improvement acquisition.
 
 use crate::mutation::mutate;
-use autofp_core::{SearchContext, Searcher};
+use autofp_core::{nan_largest, SearchContext, Searcher};
 use autofp_linalg::dist::{norm_cdf, norm_pdf};
 use autofp_linalg::rng::rng_from_seed;
 use autofp_linalg::Matrix;
@@ -77,7 +77,7 @@ impl Searcher for Smac {
             let best_error = y.iter().cloned().fold(f64::INFINITY, f64::min);
             let incumbent = observed
                 .iter()
-                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("NaN error"))
+                .min_by(|a, b| nan_largest(&a.2, &b.2))
                 .expect("non-empty observed")
                 .0
                 .clone();

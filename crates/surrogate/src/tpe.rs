@@ -41,7 +41,9 @@ impl CategoricalTpe {
         assert!(!observations.is_empty(), "TPE needs at least one observation");
         let mut idx: Vec<usize> = (0..observations.len()).collect();
         idx.sort_by(|&a, &b| {
-            observations[a].1.partial_cmp(&observations[b].1).expect("NaN error")
+            // total_cmp: worst-error trials can carry error exactly 1.0
+            // and a corrupted observation must rank, not panic.
+            observations[a].1.total_cmp(&observations[b].1)
         });
         // hyperopt: n_good = ceil(gamma * n), at least 1.
         let n_good = ((self.gamma * observations.len() as f64).ceil() as usize)

@@ -25,7 +25,7 @@ fn main() {
         let mut pbt = Pbt::new(ParamSpace::default_space(), 7, 1);
         let outcome = run_search(&mut pbt, &evaluator, Budget::evals(30));
         let mut trials = outcome.history.trials().to_vec();
-        trials.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).unwrap());
+        trials.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
         let best: Vec<_> = trials.into_iter().take(3).map(|t| t.pipeline).collect();
         println!(
             "recorded {name}: best {:.4} via {}",

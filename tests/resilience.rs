@@ -1,0 +1,332 @@
+//! Resilience suite: the fault-tolerant evaluation layer end to end.
+//!
+//! Three pillars, mirroring the acceptance criteria of the
+//! fault-tolerance work:
+//!
+//! 1. A degenerate-dataset property sweep — single-class labels,
+//!    all-constant features, an all-NaN column, and one-row training
+//!    splits, crossed with every preprocessor and every downstream
+//!    model — where `try_evaluate` must return `Err` or a finite
+//!    `Trial`, and never panic.
+//! 2. Every search algorithm (the 15 Auto-FP searchers plus TPOT-FP
+//!    and AutoSklearn-FP) running to budget completion under a
+//!    [`FaultInjector`] at a 10% mixed fault rate, with seed-reproducible
+//!    trial histories and failure counts.
+//! 3. A 64-pipeline batch with exactly one panicking pipeline yielding
+//!    63 successful trials plus one worst-error trial, bit-identical
+//!    across worker thread counts.
+
+use autofp::core::{
+    evaluate_or_worst, run_search, BatchEvaluator, Budget, EvalConfig, EvalError, Evaluate,
+    Evaluator, FailureKind, FaultConfig, FaultInjector, InjectedPanic, SearchOutcome, Trial,
+};
+use autofp::data::{Dataset, SynthConfig};
+use autofp::linalg::rng::rng_from_seed;
+use autofp::linalg::Matrix;
+use autofp::models::classifier::ModelKind;
+use autofp::models::CancelToken;
+use autofp::preprocess::{ParamSpace, Pipeline, PreprocKind};
+use autofp::search::{make_searcher, AlgName};
+use std::sync::Once;
+
+/// Install (once per test binary) a panic hook that stays quiet for
+/// [`InjectedPanic`] payloads — the panics this suite injects on
+/// purpose — while leaving every other panic loud. Installed once and
+/// never restored: tests run concurrently in one process and the hook
+/// is global, so a save/restore dance would race between tests.
+fn silence_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------
+// Pillar 1: degenerate datasets × all preprocessors × all models.
+// ---------------------------------------------------------------------
+
+/// All labels identical (only one observed class).
+fn single_class_dataset() -> Dataset {
+    let d = SynthConfig::new("one-class", 80, 4, 2, 17).generate();
+    Dataset::new("one-class", d.x, vec![0; 80], 2)
+}
+
+/// Every feature is the same constant.
+fn all_constant_dataset() -> Dataset {
+    let x = Matrix::filled(80, 4, 7.0);
+    let y: Vec<usize> = (0..80).map(|i| i % 2).collect();
+    Dataset::new("all-const", x, y, 2)
+}
+
+/// One column is entirely NaN.
+fn nan_column_dataset() -> Dataset {
+    let mut d = SynthConfig::new("nan-col", 80, 4, 2, 19).generate();
+    for i in 0..d.x.nrows() {
+        d.x.set(i, 2, f64::NAN);
+    }
+    d
+}
+
+/// So few rows that the training split holds a single example.
+fn one_row_train_dataset() -> Dataset {
+    Dataset::new(
+        "one-row-train",
+        Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]),
+        vec![0, 1],
+        2,
+    )
+}
+
+#[test]
+fn degenerate_datasets_never_panic_across_preprocessors_and_models() {
+    let datasets = [
+        single_class_dataset(),
+        all_constant_dataset(),
+        nan_column_dataset(),
+        one_row_train_dataset(),
+    ];
+    for d in &datasets {
+        for model in ModelKind::ALL {
+            let ev = Evaluator::new(d, EvalConfig { model, ..Default::default() });
+            for kind in PreprocKind::ALL {
+                let p = Pipeline::from_kinds(&[kind]);
+                // The property: Err or a finite Trial — never a panic,
+                // never a non-finite accuracy presented as success.
+                match ev.try_evaluate(&p) {
+                    Ok(t) => {
+                        assert!(
+                            t.accuracy.is_finite() && t.error.is_finite(),
+                            "{}/{model}/{kind:?}: non-finite trial",
+                            d.name
+                        );
+                        assert!(t.failure.is_none());
+                    }
+                    Err(e) => {
+                        // Every error maps to a failure kind usable as
+                        // a worst-error trial tag.
+                        let _ = e.kind();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_datasets_yield_worst_error_trials_not_crashes() {
+    // The infallible path must convert the same degenerate inputs into
+    // Eq. 2 worst-error placeholders so searchers keep moving.
+    let d = nan_column_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    for kind in PreprocKind::ALL {
+        let p = Pipeline::from_kinds(&[kind]);
+        let t = evaluate_or_worst(&ev, &p, 1.0, &CancelToken::new());
+        assert!(t.accuracy.is_finite());
+        assert!(t.error.is_finite());
+        if t.is_failed() {
+            assert_eq!(t.accuracy, 0.0);
+            assert_eq!(t.error, 1.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pillar 2: all 17 algorithms under a 10% mixed fault rate.
+// ---------------------------------------------------------------------
+
+/// A small healthy dataset for the search runs.
+fn search_dataset() -> Dataset {
+    SynthConfig::new("resilience-ds", 140, 5, 2, 23).generate()
+}
+
+/// The injector the acceptance criteria name: 10% faults, mixed
+/// panic/error/delay, deterministic in the pipeline identity.
+fn mixed_faults(seed: u64) -> FaultConfig {
+    FaultConfig { failure_rate: 0.1, seed, ..FaultConfig::default() }
+}
+
+/// Run one named searcher over a fault-injecting evaluator.
+fn run_faulty(ev: &Evaluator, name: &str, seed: u64, evals: usize) -> SearchOutcome {
+    let inj = FaultInjector::new(ev, mixed_faults(seed));
+    let budget = Budget::evals(evals);
+    match name {
+        "TPOT-FP" => {
+            let mut s = autofp::automl::TpotFp::new(seed);
+            run_search(&mut s, &inj, budget)
+        }
+        "AutoSklearn-FP" => {
+            let mut s = autofp::automl::AutoSklearnFp;
+            run_search(&mut s, &inj, budget)
+        }
+        _ => {
+            let alg = AlgName::ALL
+                .into_iter()
+                .find(|a| a.as_str() == name)
+                .unwrap_or_else(|| panic!("unknown algorithm {name}"));
+            let mut s = make_searcher(alg, ParamSpace::default_space(), 3, seed);
+            run_search(s.as_mut(), &inj, budget)
+        }
+    }
+}
+
+/// (pipeline key, accuracy bits, failure kind) per trial: the
+/// deterministic fingerprint of a run (timings excluded — they are the
+/// only nondeterministic trial fields).
+fn fingerprint(out: &SearchOutcome) -> Vec<(String, u64, Option<FailureKind>)> {
+    out.history
+        .trials()
+        .iter()
+        .map(|t| (t.pipeline.key(), t.accuracy.to_bits(), t.failure))
+        .collect()
+}
+
+#[test]
+fn all_seventeen_algorithms_survive_ten_percent_faults_reproducibly() {
+    silence_injected_panics();
+    let d = search_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let mut names: Vec<&str> = AlgName::ALL.iter().map(|a| a.as_str()).collect();
+    names.push("TPOT-FP");
+    names.push("AutoSklearn-FP");
+    assert_eq!(names.len(), 17);
+
+    let evals = 12;
+    let mut total_failures = 0u64;
+    for name in names {
+        let first = run_faulty(&ev, name, 33, evals);
+        // Budget completion: the run consumed its budget (AutoSklearn-FP
+        // exhausts its six-option space first, by design).
+        if name == "AutoSklearn-FP" {
+            assert_eq!(first.history.len(), 6, "{name}");
+        } else {
+            assert_eq!(first.history.len(), evals, "{name}");
+        }
+        // Every recorded trial is finite; failed ones carry the
+        // worst-error placeholder.
+        for t in first.history.trials() {
+            assert!(t.accuracy.is_finite(), "{name}: non-finite accuracy");
+            if t.is_failed() {
+                assert_eq!(t.error, 1.0, "{name}: failed trial not worst-error");
+            }
+        }
+        // Failure accounting matches the history.
+        let tagged = first.history.trials().iter().filter(|t| t.is_failed()).count() as u64;
+        assert_eq!(first.failures.total(), tagged, "{name}");
+        total_failures += tagged;
+        // Seed-reproducibility: an identical rerun produces the exact
+        // same trials and failure pattern.
+        let second = run_faulty(&ev, name, 33, evals);
+        assert_eq!(fingerprint(&first), fingerprint(&second), "{name} not reproducible");
+    }
+    // At a 10% mixed rate (a third of which are delays, which do not
+    // fail the trial), the 17 runs together must have tripped faults.
+    assert!(total_failures > 0, "fault injector never fired");
+}
+
+#[test]
+fn failure_counts_by_kind_are_seed_reproducible() {
+    silence_injected_panics();
+    let d = search_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    // A hot fault rate so each kind shows up within one small budget.
+    let cfg = FaultConfig { failure_rate: 0.5, seed: 9, ..FaultConfig::default() };
+    let run = || {
+        let inj = FaultInjector::new(&ev, cfg.clone());
+        let mut s = make_searcher(AlgName::Rs, ParamSpace::default_space(), 3, 4);
+        run_search(s.as_mut(), &inj, Budget::evals(30))
+    };
+    let a = run();
+    let b = run();
+    assert!(a.failures.total() > 0);
+    for kind in FailureKind::ALL {
+        assert_eq!(a.failures.count(kind), b.failures.count(kind), "{kind} count drifted");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pillar 3: one panicking pipeline in a 64-pipeline batch.
+// ---------------------------------------------------------------------
+
+/// Wraps an evaluator and panics on exactly one victim pipeline.
+struct PanicsOnVictim<'a> {
+    inner: &'a Evaluator,
+    victim_key: String,
+}
+
+impl Evaluate for PanicsOnVictim<'_> {
+    fn evaluate_raw(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        if pipeline.key() == self.victim_key {
+            std::panic::panic_any(InjectedPanic { pipeline_key: pipeline.key() });
+        }
+        self.inner.evaluate_raw(pipeline, fraction, cancel)
+    }
+
+    fn config(&self) -> &EvalConfig {
+        Evaluate::config(self.inner)
+    }
+
+    fn baseline_accuracy(&self) -> f64 {
+        Evaluate::baseline_accuracy(self.inner)
+    }
+
+    fn train_rows(&self) -> usize {
+        self.inner.train_rows()
+    }
+}
+
+/// 64 distinct pipelines sampled from the default space.
+fn sixty_four_pipelines() -> Vec<Pipeline> {
+    let space = ParamSpace::default_space();
+    let mut rng = rng_from_seed(71);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < 64 {
+        let p = space.sample_pipeline(&mut rng, 4);
+        if seen.insert(p.key()) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[test]
+fn one_panicking_pipeline_in_a_64_batch_costs_exactly_one_trial() {
+    silence_injected_panics();
+    let d = search_dataset();
+    let ev = Evaluator::new(&d, EvalConfig::default());
+    let pipelines = sixty_four_pipelines();
+    let victim_idx = 41;
+    let wrapper =
+        PanicsOnVictim { inner: &ev, victim_key: pipelines[victim_idx].key() };
+
+    let mut per_thread_count: Vec<Vec<u64>> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let batch = BatchEvaluator::new(&wrapper).with_threads(threads);
+        let trials = batch.evaluate_batch(&pipelines);
+        assert_eq!(trials.len(), 64, "threads={threads}");
+        for (i, t) in trials.iter().enumerate() {
+            if i == victim_idx {
+                assert_eq!(t.failure, Some(FailureKind::Panic), "threads={threads}");
+                assert_eq!(t.accuracy, 0.0);
+                assert_eq!(t.error, 1.0);
+            } else {
+                assert!(t.failure.is_none(), "threads={threads}: trial {i} failed");
+                assert!(t.accuracy.is_finite());
+            }
+        }
+        per_thread_count.push(trials.iter().map(|t| t.accuracy.to_bits()).collect());
+    }
+    // Bit-identical results regardless of worker count.
+    assert_eq!(per_thread_count[0], per_thread_count[1]);
+    assert_eq!(per_thread_count[0], per_thread_count[2]);
+}
