@@ -15,7 +15,6 @@ use autofp_models::mlp::MlpParams;
 use autofp_linalg::rng::rng_from_seed;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::time::Instant;
 
 /// Result of an HPO run.
 #[derive(Debug, Clone)]
@@ -106,7 +105,6 @@ impl HpoSearch {
         let mut n_evals = 0;
         while !clock.exhausted() {
             let (trainer, desc) = self.sample();
-            let _start = Instant::now();
             let model = trainer.fit(&split.train.x, &split.train.y, split.train.n_classes);
             let acc = accuracy(&split.valid.y, &model.predict(&split.valid.x));
             clock.note_eval(1.0);

@@ -145,8 +145,8 @@ impl<'a> BatchEvaluator<'a> {
             Ready(Trial),
             Job { job: usize, duplicate: bool },
         }
-        let mut job_of_key: std::collections::HashMap<&str, usize> =
-            std::collections::HashMap::new();
+        // lint:allow(nondet): keyed dedup lookup only — never iterated, so hash order is unobservable
+        let mut job_of_key: std::collections::HashMap<&str, usize> = Default::default();
         let mut jobs: Vec<&Pipeline> = Vec::new();
         let mut job_keys: Vec<&CacheKey> = Vec::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(pipelines.len());
@@ -227,6 +227,7 @@ impl<'a> BatchEvaluator<'a> {
             .map(|slot| {
                 slot.into_inner()
                     .unwrap_or_else(PoisonError::into_inner)
+                    // lint:allow(panic-boundary): the fetch_add loop claims every index below jobs.len() exactly once
                     .expect("every job index below jobs.len() is claimed by exactly one worker")
             })
             .collect()

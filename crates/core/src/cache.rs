@@ -145,6 +145,7 @@ impl CacheStats {
 #[derive(Debug, Default)]
 struct CacheInner {
     /// canonical key -> (trial, recency stamp of last touch).
+    // lint:allow(nondet): keyed lookup only — eviction order comes from the recency BTreeMap, never from map iteration
     entries: HashMap<String, (Trial, u64)>,
     /// recency stamp -> canonical key; first entry is least recent.
     /// Stamps are unique (monotonic tick), so this is a faithful queue.

@@ -67,6 +67,7 @@ impl<'a> SearchContext<'a> {
             clock,
             history: TrialHistory::new(),
             pick_time: Duration::ZERO,
+            // lint:allow(nondet): Pick-phase attribution measures algorithm overhead; it never feeds a search decision
             last_eval_end: Instant::now(),
             cache: None,
             batch_threads: threads,
@@ -131,6 +132,7 @@ impl<'a> SearchContext<'a> {
             None => evaluate_or_worst(self.evaluator, pipeline, fraction, &self.cancel),
         };
         self.clock.note_eval(fraction);
+        // lint:allow(nondet): Pick-phase attribution measures algorithm overhead; it never feeds a search decision
         self.last_eval_end = Instant::now();
         self.history.push(trial.clone());
         Some(trial)
@@ -178,6 +180,7 @@ impl<'a> SearchContext<'a> {
             self.clock.note_eval(fraction);
             self.history.push(trial.clone());
         }
+        // lint:allow(nondet): Pick-phase attribution measures algorithm overhead; it never feeds a search decision
         self.last_eval_end = Instant::now();
         Some(trials)
     }

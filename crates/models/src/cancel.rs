@@ -55,6 +55,7 @@ impl CancelToken {
             return true;
         }
         match self.inner.deadline {
+            // lint:allow(nondet): deadline polling is the cooperative-cancellation mechanism a wall-clock budget arms
             Some(deadline) if Instant::now() >= deadline => {
                 // Latch, so later checks skip the clock read.
                 self.inner.cancelled.store(true, Ordering::Release);

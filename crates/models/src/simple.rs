@@ -200,9 +200,8 @@ impl Classifier for Knn {
                 let diff = clean(*a) - clean(*b);
                 dist += diff * diff;
             }
-            // `unwrap` is unreachable when `best` is empty: the
-            // left operand of `||` is then true and short-circuits.
-            if best.len() < self.k || dist < best.last().unwrap().0 {
+            // Total fallback: an empty buffer accepts any distance.
+            if best.len() < self.k || best.last().is_none_or(|&(worst, _)| dist < worst) {
                 let pos = best.partition_point(|(d2, _)| *d2 <= dist);
                 best.insert(pos, (dist, self.y[i]));
                 best.truncate(self.k);

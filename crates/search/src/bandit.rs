@@ -102,6 +102,13 @@ impl Searcher for Hyperband {
 /// Run one successive-halving bracket. Returns `None` if the budget ran
 /// out mid-bracket. `observe` receives `(pipeline, fraction, error)` for
 /// every completed rung evaluation (BOHB feeds its TPE model with it).
+///
+/// A rung's survivor set is fixed *before* any of its evaluations run,
+/// so the whole rung is one independent batch: it goes through
+/// [`SearchContext::evaluate_batch_budgeted`], which fans it across the
+/// `BatchEvaluator` worker pool. Results come back in input order and
+/// bit-identical to the sequential path, so promotion decisions — and
+/// the recorded history — do not depend on the worker count.
 fn run_bracket(
     ctx: &mut SearchContext,
     driver: &HalvingDriver,
@@ -113,11 +120,17 @@ fn run_bracket(
     for i in 0..=s {
         let units = r0 * driver.eta.powi(i as i32);
         let frac = driver.fraction(units);
-        let mut scored: Vec<(f64, Pipeline)> = Vec::with_capacity(configs.len());
-        for p in configs.drain(..) {
-            let trial = ctx.evaluate_budgeted(&p, frac)?;
+        let trials = ctx.evaluate_batch_budgeted(&configs, frac)?;
+        // Under an eval-count budget the batch may be truncated; the
+        // returned trials still match `configs[..len]` in order.
+        let exhausted_mid_rung = trials.len() < configs.len();
+        let mut scored: Vec<(f64, Pipeline)> = Vec::with_capacity(trials.len());
+        for (trial, p) in trials.iter().zip(configs.drain(..)) {
             observe(&p, frac, trial.error);
             scored.push((trial.accuracy, p));
+        }
+        if exhausted_mid_rung {
+            return None;
         }
         // Keep the top 1/eta for the next rung.
         // Descending by accuracy; NaN (if a corrupted score ever
@@ -317,5 +330,54 @@ mod tests {
             run_search(&mut hb, &ev, Budget::evals(20)).best_accuracy()
         };
         assert_eq!(run(), run());
+    }
+
+    /// The batched rung step must not let the worker count leak into
+    /// results: the same seeded search on 1 and 4 batch threads has to
+    /// produce bit-identical rung evaluations, in the same order.
+    #[test]
+    fn rung_results_bit_identical_across_worker_counts() {
+        use autofp_core::SearchContext;
+        let ev = evaluator();
+        let run = |threads: usize| {
+            let mut hb = Hyperband::new(ParamSpace::default_space(), 4, 11);
+            let mut ctx = SearchContext::new(&ev, Budget::evals(40));
+            ctx.set_batch_threads(threads);
+            hb.search(&mut ctx);
+            ctx.finish("HYPERBAND")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.history.len(), par.history.len());
+        assert!(!seq.history.is_empty());
+        for (a, b) in seq.history.trials().iter().zip(par.history.trials()) {
+            assert_eq!(a.pipeline.key(), b.pipeline.key());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.train_fraction.to_bits(), b.train_fraction.to_bits());
+            assert_eq!(a.failure, b.failure);
+        }
+    }
+
+    /// Same invariant for BOHB, whose rungs also feed its TPE model:
+    /// observation order must match the sequential path too.
+    #[test]
+    fn bohb_rungs_bit_identical_across_worker_counts() {
+        use autofp_core::SearchContext;
+        let ev = evaluator();
+        let run = |threads: usize| {
+            let mut bohb = Bohb::new(ParamSpace::default_space(), 4, 13);
+            let mut ctx = SearchContext::new(&ev, Budget::evals(40));
+            ctx.set_batch_threads(threads);
+            bohb.search(&mut ctx);
+            ctx.finish("BOHB")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.history.len(), par.history.len());
+        for (a, b) in seq.history.trials().iter().zip(par.history.trials()) {
+            assert_eq!(a.pipeline.key(), b.pipeline.key());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Checked-in violation baseline.
+//!
+//! The baseline lets the lint gate fail CI only on *new* violations: a
+//! pre-existing finding whose `rule|path|excerpt` key appears in the
+//! baseline is suppressed (count-aware — two identical lines need two
+//! entries). `lint --strict` ignores the baseline entirely, and
+//! `lint --write-baseline` regenerates it from the current findings.
+//!
+//! The repo's goal state is an *empty* baseline — every invariant
+//! either holds or carries an inline `lint:allow` justification — so
+//! the file mostly exists to keep a future mass-migration landable in
+//! slices.
+
+use crate::rules::Violation;
+use std::collections::BTreeMap;
+
+/// Multiset of baseline keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse baseline text: one key per line, `#` comments and blank
+    /// lines ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_string()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Split `violations` into (new, baselined): each finding consumes
+    /// one matching baseline entry if available.
+    pub fn partition(&self, violations: Vec<Violation>) -> (Vec<Violation>, Vec<Violation>) {
+        let mut remaining = self.counts.clone();
+        let mut fresh = Vec::new();
+        let mut known = Vec::new();
+        for v in violations {
+            match remaining.get_mut(&v.baseline_key()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    known.push(v);
+                }
+                _ => fresh.push(v),
+            }
+        }
+        (fresh, known)
+    }
+
+    /// Serialize the given findings as baseline text.
+    pub fn render(violations: &[Violation]) -> String {
+        let mut keys: Vec<String> = violations.iter().map(Violation::baseline_key).collect();
+        keys.sort();
+        let mut out = String::from(
+            "# xtask lint baseline — pre-existing violations tolerated by `cargo run -p xtask -- lint`.\n\
+             # One `rule|path|excerpt` key per line; regenerate with `lint --write-baseline`.\n\
+             # `lint --strict` (CI) ignores this file. Keep it empty: justify sites with\n\
+             # `// lint:allow(<rule>): <reason>` instead of parking them here.\n",
+        );
+        for key in keys {
+            out.push_str(&key);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(rule: &'static str, path: &str, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            excerpt: excerpt.to_string(),
+        }
+    }
+
+    #[test]
+    fn partition_consumes_entries_count_aware() {
+        let b = Baseline::parse("# comment\nnan-ord|a.rs|x.partial_cmp(y)\n");
+        let vs = vec![
+            v("nan-ord", "a.rs", "x.partial_cmp(y)"),
+            v("nan-ord", "a.rs", "x.partial_cmp(y)"),
+        ];
+        let (fresh, known) = b.partition(vs);
+        assert_eq!(known.len(), 1, "one entry suppresses one occurrence");
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let vs = vec![v("nondet", "b.rs", "Instant::now()")];
+        let text = Baseline::render(&vs);
+        let b = Baseline::parse(&text);
+        let (fresh, known) = b.partition(vs);
+        assert!(fresh.is_empty());
+        assert_eq!(known.len(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! `xtask` — in-repo static analysis for the Auto-FP workspace.
+//!
+//! Run as `cargo run -p xtask -- lint` (see `main.rs` for the CLI).
+//! The library surface exists so the fixture suite in `tests/` can
+//! drive the rule engine on synthetic sources.
+//!
+//! Why an in-repo tool instead of clippy: the rules encode *this*
+//! repository's invariants — where wall-clock reads are allowed, which
+//! modules form the panic-shielded evaluation hot path, what counts as
+//! cache-identity code. Clippy has no vocabulary for any of that, and
+//! the offline build environment rules out external lint frameworks
+//! (dylint, custom rustc drivers). The scanner underneath is a ~300
+//! line lexer that blanks comments and string literals; that is enough
+//! for token-level rules to be exact, with `lint:allow` tags as the
+//! escape hatch for the (audited, justified) exceptions.
+
+pub mod baseline;
+pub mod rules;
+pub mod scanner;
+pub mod walk;
+
+use baseline::Baseline;
+use rules::Violation;
+use std::path::Path;
+
+/// Outcome of linting a whole workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Findings not covered by the baseline (failures).
+    pub fresh: Vec<Violation>,
+    /// Findings suppressed by the baseline.
+    pub baselined: Vec<Violation>,
+    /// Number of files scanned.
+    pub files: usize,
+}
+
+/// Lint every workspace source file under `root`. `baseline` is the
+/// parsed baseline to subtract; pass an empty one for `--strict`.
+pub fn lint_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
+    let files = walk::lintable_files(root)?;
+    let mut all = Vec::new();
+    for rel in &files {
+        let source = std::fs::read_to_string(root.join(rel))?;
+        all.extend(rules::lint_file(&walk::display_path(rel), &source));
+    }
+    let (fresh, baselined) = baseline.partition(all);
+    Ok(LintReport { fresh, baselined, files: files.len() })
+}

@@ -1,0 +1,123 @@
+//! CLI for the in-repo static analysis tool.
+//!
+//! ```text
+//! cargo run -p xtask -- lint                  # baseline-aware gate
+//! cargo run -p xtask -- lint --strict         # ignore the baseline (CI)
+//! cargo run -p xtask -- lint --write-baseline # regenerate the baseline
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use xtask::baseline::Baseline;
+use xtask::lint_workspace;
+
+/// The baseline lives next to the tool, inside the crate it belongs to.
+const BASELINE_REL: &str = "crates/xtask/lint.baseline";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut strict = false;
+    let mut write_baseline = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "lint" if command.is_none() => command = Some("lint"),
+            "--strict" => strict = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" | "help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if command != Some("lint") {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    // `CARGO_MANIFEST_DIR` is crates/xtask at compile time; the
+    // workspace root is two levels up. This keeps the tool working no
+    // matter which directory `cargo run -p xtask` is invoked from.
+    let root: PathBuf = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf();
+
+    let baseline_path = root.join(BASELINE_REL);
+    let baseline = if strict {
+        Baseline::default()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(_) => Baseline::default(),
+        }
+    };
+
+    let report = match lint_workspace(&root, &baseline) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("xtask lint: failed to scan workspace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if write_baseline {
+        let mut all = report.fresh.clone();
+        all.extend(report.baselined.iter().cloned());
+        let text = Baseline::render(&all);
+        if let Err(err) = std::fs::write(&baseline_path, text) {
+            eprintln!("xtask lint: cannot write {}: {err}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {} with {} entr{}",
+            BASELINE_REL,
+            all.len(),
+            if all.len() == 1 { "y" } else { "ies" }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for v in &report.fresh {
+        println!("{}", v.render());
+    }
+    let mode = if strict { " (strict: baseline ignored)" } else { "" };
+    println!(
+        "xtask lint: {} file(s), {} violation(s), {} baselined{}",
+        report.files,
+        report.fresh.len(),
+        report.baselined.len(),
+        mode
+    );
+    if report.fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage() -> String {
+    "\
+xtask — in-repo static analysis for the Auto-FP workspace
+
+USAGE:
+    cargo run -p xtask -- lint [--strict] [--write-baseline]
+
+RULES (justify exceptions with `// lint:allow(<rule>): <reason>`):
+    nan-ord         no raw `partial_cmp` outside core::order
+    nondet          no wall-clock outside core::budget/bench, no unseeded
+                    RNG, no HashMap/HashSet in determinism-critical modules
+    panic-boundary  no unwrap/expect/panic! in the evaluation hot path
+    cache-purity    no interior mutability / clock / RNG in cache-identity code
+
+FLAGS:
+    --strict           ignore crates/xtask/lint.baseline (the CI gate)
+    --write-baseline   regenerate the baseline from current findings
+"
+    .to_string()
+}

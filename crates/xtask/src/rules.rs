@@ -1,0 +1,374 @@
+//! The repo-specific lint rules.
+//!
+//! Four rule families guard the invariants the evaluation service rests
+//! on (see ARCHITECTURE.md "Static analysis & invariants"):
+//!
+//! - **nan-ord** — float comparisons must use the total-order helpers
+//!   in `core::order`; a raw `partial_cmp` is one NaN away from a panic
+//!   or a nondeterministic sort.
+//! - **nondet** — wall-clock reads live in `core::budget` and the bench
+//!   harness only; RNGs are always seeded; determinism-critical modules
+//!   do not use `HashMap`/`HashSet` (iteration order varies per run).
+//! - **panic-boundary** — the evaluation hot path (`core::{batch,
+//!   evaluator, cache}`, `preprocess`, `models`) returns errors instead
+//!   of panicking: a panic there is contained by `catch_unwind`, but it
+//!   costs the trial and hides the real failure taxonomy.
+//! - **cache-purity** — cache-identity code (`CacheKey`, `fnv1a`,
+//!   `Pipeline::key`) is a pure function of its inputs: no interior
+//!   mutability, no clock, no RNG.
+//!
+//! A violating line can carry `// lint:allow(<rule>): <reason>` (same
+//! line, or a comment line directly above) with a non-empty reason.
+//! Malformed tags and tags that suppress nothing are violations too
+//! (`bad-tag`, `unused-allow`), so the justification record stays
+//! honest.
+
+use crate::scanner::{named_spans, scan, CleanSource};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule family (or `bad-tag` / `unused-allow`).
+    pub rule: &'static str,
+    /// Repo-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+    /// Trimmed cleaned source of the line (baseline matching key).
+    pub excerpt: String,
+}
+
+impl Violation {
+    /// The identity used for baseline matching: stable under line-number
+    /// drift, invalidated when the flagged code itself changes.
+    pub fn baseline_key(&self) -> String {
+        format!("{}|{}|{}", self.rule, self.path, self.excerpt)
+    }
+
+    /// Human-readable report line.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {} — `{}`", self.path, self.line, self.rule, self.message, self.excerpt)
+    }
+}
+
+/// Evaluation hot-path modules where panicking constructs are banned.
+const HOT_PATH: [&str; 3] =
+    ["crates/core/src/batch.rs", "crates/core/src/evaluator.rs", "crates/core/src/cache.rs"];
+const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/src/"];
+
+/// Modules whose outputs feed `History`, reports, or cache keys: hash
+/// containers (nondeterministic iteration order) need justification.
+const DET_CRITICAL: [&str; 7] = [
+    "crates/core/src/history.rs",
+    "crates/core/src/report.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/ranking.rs",
+    "crates/core/src/patterns.rs",
+    "crates/core/src/batch.rs",
+    "crates/core/src/framework.rs",
+];
+
+/// Cache-identity regions: (file, block introducer). The rule applies
+/// inside the brace block following the introducer.
+const CACHE_PURITY_SPANS: [(&str, &str); 3] = [
+    ("crates/core/src/cache.rs", "impl CacheKey"),
+    ("crates/core/src/cache.rs", "fn fnv1a"),
+    ("crates/preprocess/src/pipeline.rs", "fn key"),
+];
+
+/// Panicking constructs banned on the hot path. `.unwrap()` is matched
+/// with its parens so `unwrap_or` / `unwrap_or_else` (total fallbacks)
+/// stay legal.
+const PANIC_TOKENS: [&str; 6] =
+    [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Wall-clock reads.
+const TIME_TOKENS: [&str; 3] = ["Instant::now", "SystemTime::now", "UNIX_EPOCH"];
+
+/// Unseeded / OS-entropy RNG constructions. The vendored `rand` shim
+/// only offers `seed_from_u64`, so these also guard against someone
+/// widening the shim.
+const UNSEEDED_RNG_TOKENS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+/// Interior mutability, clocks, RNG, and unstable hashers — none of
+/// which belong in a pure cache-identity computation.
+const CACHE_IMPURE_TOKENS: [&str; 17] = [
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "Mutex",
+    "RwLock",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI64",
+    "static mut",
+    "Instant::now",
+    "SystemTime",
+    "DefaultHasher",
+    "RandomState",
+    "thread_rng",
+];
+
+fn is_bench(path: &str) -> bool {
+    path.starts_with("crates/bench/")
+}
+
+fn in_hot_path(path: &str) -> bool {
+    HOT_PATH.contains(&path) || HOT_PATH_PREFIXES.iter().any(|p| path.starts_with(p))
+}
+
+/// Substring search requiring identifier boundaries wherever the token
+/// itself starts/ends with an identifier character.
+fn has_token(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let head_ident = token.bytes().next().is_some_and(is_ident);
+    let tail_ident = token.bytes().last().is_some_and(is_ident);
+    let mut from = 0usize;
+    while let Some(pos) = line[from..].find(token) {
+        let at = from + pos;
+        let end = at + token.len();
+        let left_ok = !head_ident || at == 0 || !is_ident(bytes[at - 1]);
+        let right_ok = !tail_ident || end >= bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Run every rule over one file. `path` must be repo-relative with
+/// forward slashes; `source` is the file's text.
+pub fn lint_file(path: &str, source: &str) -> Vec<Violation> {
+    let src = scan(source);
+    let mut raw: Vec<Violation> = Vec::new();
+
+    collect_nan_ord(path, &src, &mut raw);
+    collect_nondet(path, &src, &mut raw);
+    collect_panic_boundary(path, &src, &mut raw);
+    collect_cache_purity(path, &src, &mut raw);
+
+    // Apply justification tags: a well-formed allow suppresses every
+    // finding of its rule on its target line, and must suppress at
+    // least one to be considered used.
+    let mut used = vec![false; src.allows.len()];
+    let mut violations: Vec<Violation> = Vec::new();
+    for v in raw {
+        let mut suppressed = false;
+        for (i, allow) in src.allows.iter().enumerate() {
+            if allow.rule == v.rule && allow.target == v.line {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            violations.push(v);
+        }
+    }
+    for bad in &src.bad_tags {
+        violations.push(Violation {
+            rule: "bad-tag",
+            path: path.to_string(),
+            line: bad.line,
+            message: bad.message.clone(),
+            excerpt: excerpt(&src, bad.line),
+        });
+    }
+    for (allow, used) in src.allows.iter().zip(&used) {
+        if !used {
+            violations.push(Violation {
+                rule: "unused-allow",
+                path: path.to_string(),
+                line: allow.line,
+                message: format!(
+                    "lint:allow({}) suppresses nothing on line {} — remove the stale tag",
+                    allow.rule, allow.target
+                ),
+                excerpt: excerpt(&src, allow.line),
+            });
+        }
+    }
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    violations
+}
+
+fn excerpt(src: &CleanSource, line: usize) -> String {
+    src.lines.get(line - 1).map(|l| l.trim().to_string()).unwrap_or_default()
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    src: &CleanSource,
+    path: &str,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) {
+    out.push(Violation {
+        rule,
+        path: path.to_string(),
+        line,
+        message,
+        excerpt: excerpt(src, line),
+    });
+}
+
+/// Lines to scan for `rule`: cleaned, with test code skipped.
+fn code_lines(src: &CleanSource) -> impl Iterator<Item = (usize, &str)> {
+    src.lines
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !src.is_test.get(*i).copied().unwrap_or(false))
+        .map(|(i, l)| (i + 1, l.as_str()))
+}
+
+fn collect_nan_ord(path: &str, src: &CleanSource, out: &mut Vec<Violation>) {
+    if path == "crates/core/src/order.rs" {
+        return;
+    }
+    for (line, text) in code_lines(src) {
+        if has_token(text, "partial_cmp") {
+            push(
+                out,
+                src,
+                path,
+                "nan-ord",
+                line,
+                "`partial_cmp` outside core::order — use order::nan_smallest / \
+                 order::nan_largest (total, NaN-deterministic) or f64::total_cmp"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn collect_nondet(path: &str, src: &CleanSource, out: &mut Vec<Violation>) {
+    let time_exempt = path == "crates/core/src/budget.rs" || is_bench(path);
+    let det_critical = DET_CRITICAL.contains(&path);
+    for (line, text) in code_lines(src) {
+        if !time_exempt {
+            for token in TIME_TOKENS {
+                if has_token(text, token) {
+                    push(
+                        out,
+                        src,
+                        path,
+                        "nondet",
+                        line,
+                        format!(
+                            "wall-clock read `{token}` outside core::budget and the bench \
+                             harness — results must not depend on when they run"
+                        ),
+                    );
+                }
+            }
+        }
+        for token in UNSEEDED_RNG_TOKENS {
+            if has_token(text, token) {
+                push(
+                    out,
+                    src,
+                    path,
+                    "nondet",
+                    line,
+                    format!("unseeded RNG `{token}` — every RNG must derive from an explicit seed"),
+                );
+            }
+        }
+        // `use` lines don't iterate anything; the rule fires where the
+        // container is actually named in code.
+        if det_critical && !text.trim_start().starts_with("use ") {
+            for token in ["HashMap", "HashSet"] {
+                if has_token(text, token) {
+                    push(
+                        out,
+                        src,
+                        path,
+                        "nondet",
+                        line,
+                        format!(
+                            "`{token}` in a determinism-critical module — iteration order is \
+                             nondeterministic; use BTreeMap/BTreeSet, or justify that the \
+                             container is never iterated"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn collect_panic_boundary(path: &str, src: &CleanSource, out: &mut Vec<Violation>) {
+    if !in_hot_path(path) {
+        return;
+    }
+    for (line, text) in code_lines(src) {
+        for token in PANIC_TOKENS {
+            if has_token(text, token) {
+                push(
+                    out,
+                    src,
+                    path,
+                    "panic-boundary",
+                    line,
+                    format!(
+                        "`{token}` in the evaluation hot path — return an EvalError or use a \
+                         total fallback (unwrap_or / map_or); a panic here burns the trial"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn collect_cache_purity(path: &str, src: &CleanSource, out: &mut Vec<Violation>) {
+    let spans: Vec<(usize, usize)> = CACHE_PURITY_SPANS
+        .iter()
+        .filter(|(p, _)| *p == path)
+        .flat_map(|(_, needle)| named_spans(src, needle))
+        .collect();
+    if spans.is_empty() {
+        return;
+    }
+    for (line, text) in code_lines(src) {
+        if !spans.iter().any(|&(s, e)| line >= s && line <= e) {
+            continue;
+        }
+        for token in CACHE_IMPURE_TOKENS {
+            if has_token(text, token) {
+                push(
+                    out,
+                    src,
+                    path,
+                    "cache-purity",
+                    line,
+                    format!(
+                        "`{token}` inside cache-identity code — fingerprints must be pure \
+                         functions of the pipeline, fraction, and evaluator config"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(has_token("a.partial_cmp(b)", "partial_cmp"));
+        assert!(!has_token("my_partial_cmp2(b)", "partial_cmp"));
+        assert!(has_token("x.unwrap()", ".unwrap()"));
+        assert!(!has_token("x.unwrap_or(0)", ".unwrap()"));
+        assert!(has_token("HashMap::new()", "HashMap"));
+        assert!(!has_token("MyHashMapLike::new()", "HashMap"));
+    }
+}

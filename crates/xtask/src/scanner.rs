@@ -1,0 +1,529 @@
+//! A minimal Rust source scanner: just enough lexing to blank out
+//! comment and string-literal *contents* (so token searches cannot
+//! false-positive inside them), while extracting `lint:allow` tags from
+//! comments and mapping which lines belong to test code.
+//!
+//! This is deliberately not a parser. Every rule in [`crate::rules`]
+//! works on "cleaned" lines — the original source with comments and
+//! string interiors replaced by spaces, newlines preserved — plus a few
+//! structural facts recovered by brace matching: `#[cfg(test)]` /
+//! `#[test]` spans and named `impl`/`fn` spans.
+
+/// One `// lint:allow(<rule>): <reason>` justification tag.
+#[derive(Debug, Clone)]
+pub struct AllowTag {
+    /// The rule this tag suppresses.
+    pub rule: String,
+    /// The (non-empty) justification text.
+    pub reason: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the tag suppresses: the comment's own line when the
+    /// comment trails code, otherwise the next line with code on it.
+    pub target: usize,
+}
+
+/// A `lint:allow` tag that does not follow the convention.
+#[derive(Debug, Clone)]
+pub struct BadTag {
+    /// 1-based line of the offending comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// The scanner's view of one source file.
+#[derive(Debug)]
+pub struct CleanSource {
+    /// Source lines with comments and string interiors blanked.
+    pub lines: Vec<String>,
+    /// Well-formed justification tags.
+    pub allows: Vec<AllowTag>,
+    /// Malformed justification tags (a rule violation in themselves).
+    pub bad_tags: Vec<BadTag>,
+    /// `is_test[i]` is true when 0-based line `i` is inside a
+    /// `#[cfg(test)]` module or a `#[test]` function.
+    pub is_test: Vec<bool>,
+}
+
+/// Rule names a `lint:allow` tag may reference.
+pub const ALLOWABLE_RULES: [&str; 4] = ["nan-ord", "nondet", "panic-boundary", "cache-purity"];
+
+#[derive(Debug)]
+struct Comment {
+    /// 1-based line the comment starts on.
+    line: usize,
+    text: String,
+}
+
+/// Scan `source` into cleaned lines, tags, and test spans.
+pub fn scan(source: &str) -> CleanSource {
+    let (cleaned, comments) = strip(source);
+    let lines: Vec<String> = cleaned.split('\n').map(str::to_string).collect();
+    let mut is_test = vec![false; lines.len()];
+    for (start, end) in attribute_spans(&cleaned, "#[cfg(test)]") {
+        mark_lines(&cleaned, start, end, &mut is_test);
+    }
+    for (start, end) in attribute_spans(&cleaned, "#[test]") {
+        mark_lines(&cleaned, start, end, &mut is_test);
+    }
+    let mut allows = Vec::new();
+    let mut bad_tags = Vec::new();
+    for comment in &comments {
+        parse_tag(comment, &lines, &mut allows, &mut bad_tags);
+    }
+    CleanSource { lines, allows, bad_tags, is_test }
+}
+
+/// Replace comments and string-literal interiors with spaces, keeping
+/// newlines so line numbers survive. Returns the cleaned text and every
+/// comment with its starting line.
+fn strip(source: &str) -> (String, Vec<Comment>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Push a source char through to the output, tracking lines.
+    macro_rules! keep {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+            }
+            out.push($c);
+        }};
+    }
+    // Blank a source char (newlines still pass through).
+    macro_rules! blank {
+        ($c:expr) => {{
+            if $c == '\n' {
+                line += 1;
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            comments.push(Comment { line: start_line, text });
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    blank!(c);
+                    blank!('*');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    blank!(c);
+                    blank!('/');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    blank!(c);
+                    i += 1;
+                }
+            }
+            comments.push(Comment { line: start_line, text });
+            continue;
+        }
+
+        let prev_is_ident =
+            i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+
+        // Raw (and raw-byte) string literal: r"..." / r#"..."# / br#"..."#.
+        if !prev_is_ident && (c == 'r' || (c == 'b' && next == Some('r'))) {
+            let prefix = if c == 'b' { 2 } else { 1 };
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Emit the opening delimiter untouched.
+                for k in i..=j {
+                    keep!(chars[k]);
+                }
+                i = j + 1;
+                // Blank until `"` followed by `hashes` hashes.
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for h in 0..hashes {
+                            if chars.get(i + 1 + h) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            for k in i..=(i + hashes) {
+                                keep!(chars[k]);
+                            }
+                            i += hashes + 1;
+                            break 'raw;
+                        }
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        // Plain (and byte) string literal.
+        if c == '"' || (c == 'b' && next == Some('"') && !prev_is_ident) {
+            if c == 'b' {
+                keep!('b');
+                i += 1;
+            }
+            keep!('"');
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                if c == '\\' && i + 1 < chars.len() {
+                    blank!(c);
+                    blank!(chars[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    keep!(c);
+                    i += 1;
+                    break;
+                }
+                blank!(c);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Char / byte-char literal vs. lifetime: `'x'` and `'\n'` are
+        // literals; `'a` (no closing quote right after) is a lifetime.
+        if c == '\'' {
+            if next == Some('\\') {
+                keep!(c);
+                i += 1;
+                blank!(chars[i]); // backslash
+                i += 1;
+                if i < chars.len() {
+                    // The escaped char itself — may be `'` (as in '\''),
+                    // which must not terminate the literal.
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                while i < chars.len() && chars[i] != '\'' {
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                if i < chars.len() {
+                    keep!('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') {
+                keep!(c);
+                blank!(chars[i + 1]);
+                keep!('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: pass through.
+        }
+
+        keep!(c);
+        i += 1;
+    }
+    (out, comments)
+}
+
+/// Byte spans (over the cleaned text) of the brace block following each
+/// occurrence of `attr`. An occurrence with a `;` before the block (e.g.
+/// `#[cfg(test)] mod tests;`) is skipped.
+fn attribute_spans(cleaned: &str, attr: &str) -> Vec<(usize, usize)> {
+    let bytes = cleaned.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = cleaned[from..].find(attr) {
+        let attr_start = from + pos;
+        let attr_end = attr_start + attr.len();
+        from = attr_end;
+        let mut j = attr_end;
+        // Find the block this attribute introduces.
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => break,
+                b';' => {
+                    j = bytes.len();
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        if j >= bytes.len() {
+            continue;
+        }
+        if let Some(end) = matching_brace(bytes, j) {
+            spans.push((attr_start, end));
+        }
+    }
+    spans
+}
+
+/// Index of the `}` closing the `{` at `open` (cleaned text, so braces
+/// inside strings and comments are already gone).
+fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (off, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(off);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Mark every 0-based line intersecting byte span `[start, end]`.
+fn mark_lines(cleaned: &str, start: usize, end: usize, mark: &mut [bool]) {
+    let mut line = 0usize;
+    for (off, b) in cleaned.bytes().enumerate() {
+        if off > end {
+            break;
+        }
+        if off >= start {
+            if let Some(m) = mark.get_mut(line) {
+                *m = true;
+            }
+        }
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+}
+
+/// Line spans (1-based, inclusive) of the brace block following each
+/// occurrence of `needle` in this file — used to scope rules to `impl
+/// CacheKey { .. }` or `fn fnv1a(..) { .. }` regions. `needle` must
+/// start at an identifier boundary.
+pub fn named_spans(src: &CleanSource, needle: &str) -> Vec<(usize, usize)> {
+    let cleaned = src.lines.join("\n");
+    let bytes = cleaned.as_bytes();
+    let mut spans = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = cleaned[from..].find(needle) {
+        let at = from + pos;
+        from = at + needle.len();
+        let boundary_ok = at == 0
+            || !(bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_');
+        if !boundary_ok {
+            continue;
+        }
+        let mut j = at + needle.len();
+        while j < bytes.len() && bytes[j] != b'{' && bytes[j] != b';' {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] == b';' {
+            continue;
+        }
+        if let Some(end) = matching_brace(bytes, j) {
+            let start_line = 1 + cleaned[..at].bytes().filter(|&b| b == b'\n').count();
+            let end_line = 1 + cleaned[..end].bytes().filter(|&b| b == b'\n').count();
+            spans.push((start_line, end_line));
+        }
+    }
+    spans
+}
+
+/// Parse one comment for a `lint:allow(<rule>): <reason>` tag.
+///
+/// The tag must be the *start* of the comment body (after the `//`,
+/// `//!`, `/*` markers) — `// lint:allow(nondet): why` is a tag, while
+/// prose that merely mentions `lint:allow` is not.
+fn parse_tag(
+    comment: &Comment,
+    lines: &[String],
+    allows: &mut Vec<AllowTag>,
+    bad_tags: &mut Vec<BadTag>,
+) {
+    let body =
+        comment.text.trim_start_matches(['/', '*', '!']).trim_start();
+    if !body.starts_with("lint:allow") {
+        return;
+    }
+    let rest = &body["lint:allow".len()..];
+    let mut bad = |message: String| {
+        bad_tags.push(BadTag { line: comment.line, message });
+    };
+    let Some(rest) = rest.strip_prefix('(') else {
+        return bad("lint:allow must name a rule: `lint:allow(<rule>): <reason>`".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return bad("unclosed rule name in lint:allow tag".into());
+    };
+    let rule = rest[..close].trim().to_string();
+    if !ALLOWABLE_RULES.contains(&rule.as_str()) {
+        return bad(format!(
+            "unknown rule `{rule}` in lint:allow tag (known: {})",
+            ALLOWABLE_RULES.join(", ")
+        ));
+    }
+    let after = &rest[close + 1..];
+    let Some(reason) = after.strip_prefix(':') else {
+        return bad(format!("lint:allow({rule}) must carry a reason: `lint:allow({rule}): <why>`"));
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return bad(format!("empty reason in lint:allow({rule}) tag"));
+    }
+
+    // The tag suppresses its own line when the comment trails code,
+    // otherwise the next line that has code on it.
+    let own = &lines[comment.line - 1];
+    let target = if own.trim().is_empty() {
+        lines
+            .iter()
+            .enumerate()
+            .skip(comment.line)
+            .find(|(_, l)| !l.trim().is_empty())
+            .map(|(idx, _)| idx + 1)
+    } else {
+        Some(comment.line)
+    };
+    match target {
+        Some(target) => allows.push(AllowTag {
+            rule,
+            reason: reason.to_string(),
+            line: comment.line,
+            target,
+        }),
+        None => bad(format!("lint:allow({rule}) tag at end of file suppresses nothing")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let a = \"Instant::now\"; // Instant::now in comment\nlet b = 1;\n";
+        let s = scan(src);
+        assert!(!s.lines[0].contains("Instant::now"));
+        assert!(s.lines[1].contains("let b"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_blanked() {
+        let src = "let a = r#\"unwrap() \"quoted\" \"#; let b = \"esc \\\" unwrap()\";\n";
+        let s = scan(src);
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("let b"));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let src = "let q = '\"'; let n = '\\n'; let l: &'static str = \"x.unwrap()\";\n";
+        let s = scan(src);
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let src = "/* outer /* inner unwrap() */ still comment */ let x = 1;\n";
+        let s = scan(src);
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn cfg_test_spans_are_marked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn cold() {}\n";
+        let s = scan(src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn trailing_and_standalone_tags_resolve_targets() {
+        let src = "\
+let a = x.unwrap(); // lint:allow(panic-boundary): invariant A
+// lint:allow(nondet): invariant B
+let b = now();
+";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 2);
+        assert_eq!((s.allows[0].rule.as_str(), s.allows[0].target), ("panic-boundary", 1));
+        assert_eq!((s.allows[1].rule.as_str(), s.allows[1].target), ("nondet", 3));
+        assert!(s.bad_tags.is_empty());
+    }
+
+    #[test]
+    fn malformed_tags_are_reported() {
+        let src = "\
+// lint:allow(panic-boundary):
+// lint:allow(bogus): some reason
+// lint:allow(nondet) missing colon
+let a = 1;
+";
+        let s = scan(src);
+        assert!(s.allows.is_empty());
+        assert_eq!(s.bad_tags.len(), 3);
+        assert!(s.bad_tags[0].message.contains("empty reason"));
+        assert!(s.bad_tags[1].message.contains("unknown rule"));
+        assert!(s.bad_tags[2].message.contains("must carry a reason"));
+    }
+
+    #[test]
+    fn named_spans_cover_impl_blocks() {
+        let src = "\
+struct CacheKey;
+impl CacheKey {
+    fn f() {}
+}
+fn fnv1a() {
+    let x = 1;
+}
+";
+        let s = scan(src);
+        let impl_span = named_spans(&s, "impl CacheKey");
+        assert_eq!(impl_span, vec![(2, 4)]);
+        let fn_span = named_spans(&s, "fn fnv1a");
+        assert_eq!(fn_span, vec![(5, 7)]);
+    }
+}
