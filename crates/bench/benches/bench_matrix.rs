@@ -1,0 +1,104 @@
+//! Wall-clock comparison of the Table-4-mini scenario matrix under the
+//! three cache modes: no cache, a private cache per cell, and one cache
+//! shared by every algorithm cell of a (dataset, model) group.
+//!
+//! The matrix is 2 datasets × 2 models × 4 algorithms with an
+//! eval-count budget, so all three modes run the exact same searches
+//! and produce bit-identical cells; only how much evaluation work is
+//! deduplicated differs. `max_len = 2` over the 7-variant default
+//! space leaves only 56 distinct pipelines, and the algorithm mix is
+//! duplicate-heavy by construction: both PNAS variants open with the
+//! same 7 singles, and tournament evolution re-proposes mutated
+//! parents — the redundancy the shared mode exploits.
+//!
+//! Run with `cargo bench -p autofp-bench --bench bench_matrix`.
+//! Speedups are printed against the no-cache baseline; the run asserts
+//! shared-cache beats per-cell caches on both wall-clock and misses.
+
+use autofp_bench::{run_matrix, CacheMode, HarnessConfig, MatrixOutcome};
+use autofp_core::Budget;
+use autofp_data::{registry, DatasetSpec};
+use autofp_models::classifier::ModelKind;
+use autofp_search::AlgName;
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 3;
+
+fn measure<F: FnMut() -> MatrixOutcome>(mut f: F) -> (Duration, MatrixOutcome) {
+    let mut out = f(); // warm-up round (page in data, prime allocator)
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        out = f();
+    }
+    (start.elapsed() / ROUNDS as u32, out)
+}
+
+fn main() {
+    let mut cfg = HarnessConfig::default();
+    cfg.scale = 0.2;
+    cfg.budget = Budget::evals(32);
+    cfg.max_len = 2;
+    cfg.max_rows = 500;
+    cfg.min_rows = 300;
+    let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+    let models = [ModelKind::Lr, ModelKind::Xgb];
+    let algorithms = [AlgName::Rs, AlgName::TevoH, AlgName::Pmne, AlgName::Plne];
+    println!(
+        "matrix = {} datasets x {} models x {} algorithms, {:?}, threads = {}\n",
+        specs.len(),
+        models.len(),
+        algorithms.len(),
+        cfg.budget,
+        cfg.threads
+    );
+
+    cfg.cache_mode = CacheMode::Off;
+    let (no_cache, base) = measure(|| run_matrix(&specs, &models, &algorithms, &cfg));
+    println!("no cache          {:>9.1} ms   1.00x", no_cache.as_secs_f64() * 1e3);
+
+    cfg.cache_mode = CacheMode::PerCell;
+    let (per_cell, per_cell_out) = measure(|| run_matrix(&specs, &models, &algorithms, &cfg));
+    println!(
+        "per-cell caches   {:>9.1} ms   {:.2}x   ({} hits / {} lookups)",
+        per_cell.as_secs_f64() * 1e3,
+        no_cache.as_secs_f64() / per_cell.as_secs_f64(),
+        per_cell_out.cache.hits,
+        per_cell_out.cache.lookups(),
+    );
+
+    cfg.cache_mode = CacheMode::Shared;
+    let (shared, shared_out) = measure(|| run_matrix(&specs, &models, &algorithms, &cfg));
+    println!(
+        "shared per group  {:>9.1} ms   {:.2}x   ({} hits / {} lookups)",
+        shared.as_secs_f64() * 1e3,
+        no_cache.as_secs_f64() / shared.as_secs_f64(),
+        shared_out.cache.hits,
+        shared_out.cache.lookups(),
+    );
+
+    // All three modes must agree bit-for-bit on every cell.
+    for (a, b) in base.cells.iter().zip(&shared_out.cells) {
+        assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "shared != off");
+    }
+    for (a, b) in base.cells.iter().zip(&per_cell_out.cells) {
+        assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "per-cell != off");
+    }
+
+    assert!(
+        shared_out.cache.misses < per_cell_out.cache.misses,
+        "shared cache must evaluate less than per-cell caches ({} vs {} misses)",
+        shared_out.cache.misses,
+        per_cell_out.cache.misses,
+    );
+    let speedup = no_cache.as_secs_f64() / shared.as_secs_f64();
+    let vs_per_cell = per_cell.as_secs_f64() / shared.as_secs_f64();
+    assert!(
+        vs_per_cell >= 1.0,
+        "shared cache must not be slower than per-cell caches (got {vs_per_cell:.2}x)"
+    );
+    println!(
+        "\nok: shared cache is {speedup:.2}x no-cache and {vs_per_cell:.2}x per-cell, \
+         with {} fewer evaluations than per-cell caching",
+        per_cell_out.cache.misses - shared_out.cache.misses
+    );
+}

@@ -7,12 +7,11 @@
 //! `cargo run --release -p autofp-bench --bin exp_fig2 [--scale S] [--evals N]`
 
 use autofp_bench::{f4, HarnessConfig};
-use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp_core::{pool_map, run_search, Budget, EvalConfig, Evaluator};
 use autofp_data::spec_by_name;
 use autofp_models::classifier::ModelKind;
 use autofp_preprocess::enumerate::total_count;
 use autofp_search::random::Exhaustive;
-use parking_lot::Mutex;
 
 const DATASETS: [&str; 4] = ["heart", "forex", "pd", "wine"];
 const MAX_LEN: usize = 4;
@@ -29,29 +28,20 @@ fn main() {
     );
     println!("(scale {}, seed {})\n", cfg.scale, cfg.seed);
 
-    let results: Mutex<Vec<(String, Vec<f64>, f64)>> = Mutex::new(Vec::new());
-    crossbeam::scope(|scope| {
-        for name in DATASETS {
-            let cfg = cfg.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                let spec = spec_by_name(name).expect("registry dataset");
-                let dataset = cfg.generate(&spec);
-                let ev = Evaluator::new(
-                    &dataset,
-                    EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
-                );
-                let mut searcher = Exhaustive { max_len: MAX_LEN };
-                let outcome = run_search(&mut searcher, &ev, Budget::evals(n_pipelines));
-                let accs: Vec<f64> =
-                    outcome.history.trials().iter().map(|t| t.accuracy).collect();
-                results.lock().push((name.to_string(), accs, ev.baseline_accuracy()));
-            });
-        }
-    })
-    .expect("worker panicked");
-
-    let mut all = results.into_inner();
+    let mut all: Vec<(String, Vec<f64>, f64)> =
+        pool_map(cfg.threads.max(1), DATASETS.len(), |i| {
+            let name = DATASETS[i];
+            let spec = spec_by_name(name).expect("registry dataset");
+            let dataset = cfg.generate(&spec);
+            let ev = Evaluator::new(
+                &dataset,
+                EvalConfig { model: ModelKind::Lr, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+            );
+            let mut searcher = Exhaustive { max_len: MAX_LEN };
+            let outcome = run_search(&mut searcher, &ev, Budget::evals(n_pipelines));
+            let accs: Vec<f64> = outcome.history.trials().iter().map(|t| t.accuracy).collect();
+            (name.to_string(), accs, ev.baseline_accuracy())
+        });
     all.sort_by(|a, b| a.0.cmp(&b.0));
     for (name, accs, baseline) in &all {
         println!("--- {name} ({} pipelines evaluated) ---", accs.len());

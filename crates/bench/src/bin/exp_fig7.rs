@@ -6,7 +6,7 @@
 //! Usage: `cargo run --release -p autofp-bench --bin exp_fig7
 //!   [--scale S] [--budget-ms MS | --evals N] [--seed X]`
 
-use autofp_bench::{f2, print_table, run_matrix, HarnessConfig};
+use autofp_bench::{f2, print_matrix_stats, print_table, run_matrix, HarnessConfig};
 use autofp_data::registry::bottleneck_seven;
 use autofp_models::classifier::ModelKind;
 use autofp_search::AlgName;
@@ -21,10 +21,11 @@ fn main() {
     println!("== Figure 7: overhead breakdown (Pick / Prep / Train, % of total) ==");
     println!("({} datasets x 3 models x {} algorithms)\n", specs.len(), algorithms.len());
 
-    let results = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let outcome = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let results = &outcome.cells;
 
     let mut rows = Vec::new();
-    for r in &results {
+    for r in results {
         let (pick, prep, train) = r.breakdown.percentages();
         rows.push(vec![
             r.dataset.clone(),
@@ -44,7 +45,7 @@ fn main() {
 
     // Aggregate: how often is each phase the bottleneck?
     let mut counts = [0usize; 3];
-    for r in &results {
+    for r in results {
         match r.breakdown.bottleneck() {
             "Pick" => counts[0] += 1,
             "Prep" => counts[1] += 1,
@@ -62,4 +63,5 @@ fn main() {
         "\nPaper's shape to match: Train dominates in most scenarios, then Prep, then Pick;\n\
          surrogate-heavy algorithms (SMAC, TPE, PLNE/PLE) show visibly larger Pick shares."
     );
+    print_matrix_stats(&outcome);
 }

@@ -9,7 +9,7 @@
 //! Usage: `cargo run --release -p autofp-bench --bin exp_patterns
 //!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all]`
 
-use autofp_bench::{print_table, run_matrix, HarnessConfig};
+use autofp_bench::{print_matrix_stats, print_table, run_matrix, HarnessConfig};
 use autofp_core::patterns::{mine_frequent_subsequences, strongest_pattern};
 use autofp_models::classifier::ModelKind;
 use autofp_preprocess::Pipeline;
@@ -20,7 +20,8 @@ fn main() {
     let specs = cfg.specs();
     println!("== §5.2: frequent patterns in best pipelines (PBT) ==\n");
 
-    let results = run_matrix(&specs, &ModelKind::ALL, &[AlgName::Pbt], &cfg);
+    let outcome = run_matrix(&specs, &ModelKind::ALL, &[AlgName::Pbt], &cfg);
+    let results = &outcome.cells;
     // Parse the winning pipelines back from their display form via the
     // stored trial pipelines (best_pipeline strings are display-only, so
     // keep the analysis on CellResult's recorded winners).
@@ -63,6 +64,7 @@ fn main() {
          there are no obvious frequent patterns\" — the search problem cannot be replaced\n\
          by a lookup rule."
     );
+    print_matrix_stats(&outcome);
 }
 
 /// Parse a default-space pipeline back from its display string

@@ -10,15 +10,13 @@
 //!   [--scale S] [--evals N] [--datasets K|all]`
 
 use autofp_bench::{f2, print_table, HarnessConfig};
-use autofp_core::{run_search, Budget, EvalConfig, Evaluator};
+use autofp_core::{pool_map, run_search, Budget, EvalConfig, Evaluator};
 use autofp_metafeatures::{meta_dataset, ExtractConfig};
 use autofp_models::classifier::ModelKind;
 use autofp_models::cv::cross_val_accuracy;
 use autofp_models::tree::DecisionTreeParams;
 use autofp_preprocess::ParamSpace;
 use autofp_search::RandomSearch;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -36,40 +34,29 @@ fn main() {
     // Per model: (dataset, label) pairs, computed in parallel per dataset.
     let datasets: Vec<autofp_data::Dataset> =
         specs.iter().map(|s| cfg.generate(s)).collect();
-    let labels: Mutex<Vec<(usize, ModelKind, usize)>> = Mutex::new(Vec::new());
-    let next = AtomicUsize::new(0);
     let mut cells = Vec::new();
     for di in 0..datasets.len() {
         for m in ModelKind::ALL {
             cells.push((di, m));
         }
     }
-    crossbeam::scope(|scope| {
-        for _ in 0..cfg.threads.clamp(1, cells.len()) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let (di, model) = cells[i];
-                let ev = Evaluator::new(
-                    &datasets[di],
-                    EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
-                );
-                let mut rs = RandomSearch::new(
-                    ParamSpace::default_space(),
-                    cfg.max_len,
-                    autofp_linalg::rng::derive_seed(cfg.seed, i as u64),
-                );
-                let out = run_search(&mut rs, &ev, Budget::evals(n_pipelines));
-                let improvement = out.best_accuracy() - ev.baseline_accuracy();
-                let label = usize::from(improvement > 0.015);
-                labels.lock().push((di, model, label));
-            });
-        }
-    })
-    .expect("worker panicked");
-    let labels = labels.into_inner();
+    let labels: Vec<(usize, ModelKind, usize)> =
+        pool_map(cfg.threads.max(1), cells.len(), |i| {
+            let (di, model) = cells[i];
+            let ev = Evaluator::new(
+                &datasets[di],
+                EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+            );
+            let mut rs = RandomSearch::new(
+                ParamSpace::default_space(),
+                cfg.max_len,
+                autofp_linalg::rng::derive_seed(cfg.seed, i as u64),
+            );
+            let out = run_search(&mut rs, &ev, Budget::evals(n_pipelines));
+            let improvement = out.best_accuracy() - ev.baseline_accuracy();
+            let label = usize::from(improvement > 0.015);
+            (di, model, label)
+        });
 
     // Train trees per model.
     let mf_cfg = ExtractConfig { seed: cfg.seed, ..Default::default() };

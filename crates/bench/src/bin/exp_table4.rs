@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p autofp-bench --bin exp_table4
 //!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all] [--seed X]`
 
-use autofp_bench::{f2, print_table, run_matrix, HarnessConfig};
+use autofp_bench::{f2, print_matrix_stats, print_table, run_matrix, HarnessConfig};
 use autofp_core::ranking::{average_rankings, order_by_rank, Scenario, IMPROVEMENT_THRESHOLD};
 use autofp_models::classifier::ModelKind;
 use autofp_search::AlgName;
@@ -21,7 +21,8 @@ fn main() {
     );
     println!("(scale {}, budget {:?}, seed {})\n", cfg.scale, cfg.budget, cfg.seed);
 
-    let results = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let outcome = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let results = &outcome.cells;
 
     // Tables 12-15 analogue: per-(dataset, model) improvement in pp.
     println!("-- Per-scenario validation-accuracy improvement (percentage points) --");
@@ -29,7 +30,7 @@ fn main() {
     header.extend(algorithms.iter().map(|a| a.as_str()));
     let mut grouped: BTreeMap<(String, &'static str), Vec<f64>> = BTreeMap::new();
     let mut baselines: BTreeMap<(String, &'static str), f64> = BTreeMap::new();
-    for r in &results {
+    for r in results {
         let key = (r.dataset.clone(), r.model.name());
         let entry = grouped.entry(key.clone()).or_insert_with(|| vec![0.0; algorithms.len()]);
         let ai = algorithms.iter().position(|a| a.as_str() == r.algorithm).expect("known alg");
@@ -96,4 +97,5 @@ fn main() {
          strong baseline; RL-based (REINFORCE, ENAS), bandit-based (HYPERBAND, BOHB) and\n\
          the LSTM-surrogate PNAS variants trail RS; PMNE/PME are the surrogate exceptions."
     );
+    print_matrix_stats(&outcome);
 }

@@ -4,7 +4,7 @@
 //! Usage: `cargo run --release -p autofp-bench --bin exp_table5
 //!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all]`
 
-use autofp_bench::{print_table, run_matrix, HarnessConfig};
+use autofp_bench::{print_matrix_stats, print_table, run_matrix, HarnessConfig};
 use autofp_models::classifier::ModelKind;
 use autofp_search::AlgName;
 use std::collections::BTreeMap;
@@ -15,7 +15,8 @@ fn main() {
     let algorithms = [AlgName::Rs, AlgName::Pbt, AlgName::TevoH, AlgName::TevoY];
     println!("== Table 5: performance bottleneck by scenario bucket ==\n");
 
-    let results = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let outcome = run_matrix(&specs, &ModelKind::ALL, &algorithms, &cfg);
+    let results = &outcome.cells;
 
     // Bucket each dataset per the paper's rule.
     let bucket_of = |name: &str| -> String {
@@ -29,7 +30,7 @@ fn main() {
 
     // Majority bottleneck per (bucket, model).
     let mut tally: BTreeMap<(String, &'static str), [usize; 3]> = BTreeMap::new();
-    for r in &results {
+    for r in results {
         let key = (bucket_of(&r.dataset), r.model.name());
         let t = tally.entry(key).or_insert([0; 3]);
         match r.breakdown.bottleneck() {
@@ -64,4 +65,5 @@ fn main() {
         "\nPaper's shape to match (Table 5): Train dominates almost everywhere; Prep shows\n\
          up for LR on low-dimensional medium datasets and mixes with Train elsewhere."
     );
+    print_matrix_stats(&outcome);
 }

@@ -3,19 +3,41 @@
 //! Every `exp_*` binary regenerates one table or figure of the paper
 //! (see DESIGN.md's per-experiment index). This library holds the common
 //! machinery: CLI parsing (`--scale`, `--budget-ms`, `--evals`,
-//! `--seed`, `--datasets`, `--threads`), the scenario matrix runner
-//! (dataset × model × algorithm, parallelized across cells with
-//! crossbeam, each search itself single-threaded as in the paper), and
-//! table formatting.
+//! `--seed`, `--datasets`, `--threads`, `--cache`), the scenario matrix
+//! runner (dataset × model × algorithm, fanned across cells through the
+//! core worker pool [`autofp_core::pool_map`], each search itself
+//! single-threaded as in the paper), and table formatting.
+//!
+//! By default every algorithm cell of the same (dataset, model) group
+//! shares one [`SharedEvalCache`], so the duplicate pipelines the 15
+//! searchers propose (most start from the same default-parameter space)
+//! are evaluated once per group instead of once per cell. The matrix
+//! result carries aggregate [`CacheStats`] and [`FailureStats`] so the
+//! reuse — and any worst-error trials — are observable in reports.
 
-use autofp_core::{run_search, Budget, EvalConfig, Evaluator, PhaseBreakdown};
+use autofp_core::{
+    pool_map, run_search_with, Budget, CacheStats, EvalCache, EvalConfig, Evaluate, Evaluator,
+    FailureStats, PhaseBreakdown, SharedEvalCache,
+};
 use autofp_data::{registry, Dataset, DatasetSpec};
 use autofp_models::classifier::ModelKind;
 use autofp_preprocess::ParamSpace;
 use autofp_search::{make_searcher, AlgName};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
+
+/// How the scenario matrix caches pipeline evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// One cache per (dataset, model) group, shared by every algorithm
+    /// cell and repeat of that group (the default): cross-algorithm
+    /// duplicate pipelines are evaluated once per group.
+    Shared,
+    /// A private cache per cell (dataset × model × algorithm); repeats
+    /// within the cell still share it.
+    PerCell,
+    /// No caching: every proposal is evaluated from scratch.
+    Off,
+}
 
 /// Harness configuration shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -44,6 +66,10 @@ pub struct HarnessConfig {
     /// Independent repetitions per scenario cell; accuracies are
     /// averaged (the paper repeats every experiment five times).
     pub repeats: usize,
+    /// Evaluation-cache sharing across matrix cells.
+    pub cache_mode: CacheMode,
+    /// Optional LRU entry cap for each matrix cache; `None` = unbounded.
+    pub cache_capacity: Option<usize>,
 }
 
 impl Default for HarnessConfig {
@@ -58,6 +84,8 @@ impl Default for HarnessConfig {
             max_rows: 1200,
             min_rows: 160,
             repeats: 1,
+            cache_mode: CacheMode::Shared,
+            cache_capacity: None,
         }
     }
 }
@@ -66,7 +94,8 @@ impl HarnessConfig {
     /// Parse `--key value` style CLI arguments over the defaults.
     ///
     /// Recognized keys: `--scale`, `--budget-ms`, `--evals`, `--seed`,
-    /// `--datasets` (count or `all`), `--threads`, `--max-len`.
+    /// `--datasets` (count or `all`), `--threads`, `--max-len`,
+    /// `--cache` (`shared`/`per-cell`/`off`), `--cache-cap`.
     pub fn from_args() -> HarnessConfig {
         let mut cfg = HarnessConfig::default();
         let args: Vec<String> = std::env::args().skip(1).collect();
@@ -94,6 +123,17 @@ impl HarnessConfig {
                 "--max-rows" => cfg.max_rows = val.parse().expect("--max-rows takes an integer"),
                 "--min-rows" => cfg.min_rows = val.parse().expect("--min-rows takes an integer"),
                 "--repeats" => cfg.repeats = val.parse().expect("--repeats takes an integer"),
+                "--cache" => {
+                    cfg.cache_mode = match val.as_str() {
+                        "shared" => CacheMode::Shared,
+                        "per-cell" => CacheMode::PerCell,
+                        "off" => CacheMode::Off,
+                        other => panic!("--cache takes shared|per-cell|off, got {other}"),
+                    };
+                }
+                "--cache-cap" => {
+                    cfg.cache_capacity = Some(val.parse().expect("--cache-cap takes an integer"));
+                }
                 other => panic!("unknown argument: {other}"),
             }
             i += 2;
@@ -119,6 +159,22 @@ impl HarnessConfig {
         let scale = self.scale.min(cap_scale).max(floor_scale);
         spec.generate(scale.clamp(f64::MIN_POSITIVE, 1.0))
     }
+
+    /// A fresh cache honoring `cache_capacity`.
+    pub fn new_cache(&self) -> EvalCache {
+        match self.cache_capacity {
+            Some(cap) => EvalCache::with_capacity(cap),
+            None => EvalCache::new(),
+        }
+    }
+
+    /// A fresh shareable cache honoring `cache_capacity`.
+    pub fn new_shared_cache(&self) -> SharedEvalCache {
+        match self.cache_capacity {
+            Some(cap) => SharedEvalCache::with_capacity(cap),
+            None => SharedEvalCache::new(),
+        }
+    }
 }
 
 /// Result of one scenario cell (dataset × model × algorithm).
@@ -132,6 +188,8 @@ pub struct CellResult {
     pub n_evals: usize,
     pub breakdown: PhaseBreakdown,
     pub best_pipeline: String,
+    /// Worst-error trials this cell hit, tallied across all repeats.
+    pub failures: FailureStats,
 }
 
 impl CellResult {
@@ -142,14 +200,50 @@ impl CellResult {
     }
 }
 
-/// Run `algorithms` on every (dataset, model) pair, parallelized across
-/// cells; each search is single-threaded (paper: `n_jobs = 1`).
+/// A full scenario-matrix run: per-cell results plus matrix-level
+/// aggregate cache and failure tallies.
+///
+/// `cells` is deterministically ordered (dataset, model, algorithm) and
+/// bit-identical across worker-thread counts and cache modes; `cache`
+/// counters depend on cell scheduling under [`CacheMode::Shared`] (who
+/// hits and who misses races), so only the *results* are reproducible,
+/// not the hit/miss split.
+#[derive(Debug, Clone)]
+pub struct MatrixOutcome {
+    /// One entry per (dataset, model, algorithm) cell, sorted.
+    pub cells: Vec<CellResult>,
+    /// Cache counters folded over every cache the matrix created.
+    pub cache: CacheStats,
+    /// Failure tallies folded over every cell and repeat.
+    pub failures: FailureStats,
+}
+
+/// Run `algorithms` on every (dataset, model) pair, fanned across cells
+/// through the core worker pool; each search is single-threaded (paper:
+/// `n_jobs = 1`).
 pub fn run_matrix(
     specs: &[DatasetSpec],
     models: &[ModelKind],
     algorithms: &[AlgName],
     config: &HarnessConfig,
-) -> Vec<CellResult> {
+) -> MatrixOutcome {
+    run_matrix_with(specs, models, algorithms, config, |d, c| Box::new(Evaluator::new(d, c)))
+}
+
+/// [`run_matrix`] with a custom evaluator factory: `make_eval` builds
+/// the evaluator for each (dataset, model) group, letting tests wrap
+/// the real [`Evaluator`] (fault injection, instrumentation) without a
+/// parallel harness implementation.
+pub fn run_matrix_with<F>(
+    specs: &[DatasetSpec],
+    models: &[ModelKind],
+    algorithms: &[AlgName],
+    config: &HarnessConfig,
+    make_eval: F,
+) -> MatrixOutcome
+where
+    F: Fn(&Dataset, EvalConfig) -> Box<dyn Evaluate> + Sync,
+{
     // Generate datasets once, share across threads.
     let datasets: Vec<Dataset> = specs.iter().map(|s| config.generate(s)).collect();
 
@@ -164,77 +258,115 @@ pub fn run_matrix(
     }
 
     // Evaluators are built once per (dataset, model) to share the
-    // baseline measurement across algorithms.
-    let mut evaluators: Vec<Vec<Evaluator>> = Vec::with_capacity(datasets.len());
-    for d in &datasets {
-        let per_model: Vec<Evaluator> = models
+    // baseline measurement across algorithms; under `CacheMode::Shared`
+    // the group also owns the cache all of its cells reuse.
+    let evaluators: Vec<Vec<Box<dyn Evaluate>>> = datasets
+        .iter()
+        .map(|d| {
+            models
+                .iter()
+                .map(|&m| {
+                    make_eval(
+                        d,
+                        EvalConfig {
+                            model: m,
+                            train_fraction: 0.8,
+                            seed: config.seed,
+                            train_subsample: None,
+                        },
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let group_caches: Vec<Vec<SharedEvalCache>> = if config.cache_mode == CacheMode::Shared {
+        datasets
             .iter()
-            .map(|&m| {
-                Evaluator::new(d, EvalConfig { model: m, train_fraction: 0.8, seed: config.seed, train_subsample: None })
-            })
-            .collect();
-        evaluators.push(per_model);
-    }
+            .map(|_| models.iter().map(|_| config.new_shared_cache()).collect())
+            .collect()
+    } else {
+        Vec::new()
+    };
     let model_index = |m: ModelKind| models.iter().position(|&x| x == m).expect("model listed");
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<CellResult>> = Mutex::new(Vec::with_capacity(cells.len()));
-    let n_threads = config.threads.clamp(1, cells.len().max(1));
-    crossbeam::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
+    let outputs: Vec<(CellResult, Option<CacheStats>)> =
+        pool_map(config.threads.max(1), cells.len(), |i| {
+            let (di, model, alg) = cells[i];
+            let mi = model_index(model);
+            let evaluator = evaluators[di][mi].as_ref();
+            let cell_cache = match config.cache_mode {
+                CacheMode::PerCell => Some(config.new_cache()),
+                _ => None,
+            };
+            let cache: Option<&EvalCache> = match config.cache_mode {
+                CacheMode::Shared => Some(&group_caches[di][mi]),
+                CacheMode::PerCell => cell_cache.as_ref(),
+                CacheMode::Off => None,
+            };
+            // Repeat with derived seeds and average the best accuracy
+            // (the paper repeats five times and reports the average).
+            let mut acc_sum = 0.0;
+            let mut evals_sum = 0;
+            let mut failures = FailureStats::new();
+            let mut first: Option<autofp_core::SearchOutcome> = None;
+            for rep in 0..config.repeats.max(1) {
+                let seed = autofp_linalg::rng::derive_seed(
+                    config.seed,
+                    (i as u64) * 31 + rep as u64,
+                );
+                let mut searcher =
+                    make_searcher(alg, ParamSpace::default_space(), config.max_len, seed);
+                let outcome =
+                    run_search_with(searcher.as_mut(), evaluator, config.budget, Some(1), cache);
+                acc_sum += outcome.best_accuracy();
+                evals_sum += outcome.history.len();
+                failures.absorb(&outcome.failures);
+                if first.is_none() {
+                    first = Some(outcome);
                 }
-                let (di, model, alg) = cells[i];
-                let evaluator = &evaluators[di][model_index(model)];
-                // Repeat with derived seeds and average the best accuracy
-                // (the paper repeats five times and reports the average).
-                let mut acc_sum = 0.0;
-                let mut evals_sum = 0;
-                let mut first: Option<autofp_core::SearchOutcome> = None;
-                for rep in 0..config.repeats.max(1) {
-                    let seed = autofp_linalg::rng::derive_seed(
-                        config.seed,
-                        (i as u64) * 31 + rep as u64,
-                    );
-                    let mut searcher =
-                        make_searcher(alg, ParamSpace::default_space(), config.max_len, seed);
-                    let outcome = run_search(searcher.as_mut(), evaluator, config.budget);
-                    acc_sum += outcome.best_accuracy();
-                    evals_sum += outcome.history.len();
-                    if first.is_none() {
-                        first = Some(outcome);
-                    }
-                }
-                let reps = config.repeats.max(1);
-                let outcome = first.expect("at least one repeat ran");
-                let cell = CellResult {
-                    dataset: datasets[di].name.clone(),
-                    model,
-                    algorithm: alg.as_str(),
-                    baseline: evaluator.baseline_accuracy(),
-                    best_accuracy: acc_sum / reps as f64,
-                    n_evals: evals_sum / reps,
-                    breakdown: outcome.breakdown,
-                    best_pipeline: outcome
-                        .best()
-                        .map(|t| t.pipeline.to_string())
-                        .unwrap_or_else(|| "(none)".into()),
-                };
-                results.lock().push(cell);
-            });
-        }
-    })
-    .expect("worker thread panicked");
+            }
+            let reps = config.repeats.max(1);
+            let outcome = first.expect("at least one repeat ran");
+            let cell = CellResult {
+                dataset: datasets[di].name.clone(),
+                model,
+                algorithm: alg.as_str(),
+                baseline: evaluator.baseline_accuracy(),
+                best_accuracy: acc_sum / reps as f64,
+                n_evals: evals_sum / reps,
+                breakdown: outcome.breakdown,
+                best_pipeline: outcome
+                    .best()
+                    .map(|t| t.pipeline.to_string())
+                    .unwrap_or_else(|| "(none)".into()),
+                failures,
+            };
+            (cell, cell_cache.map(|c| c.stats()))
+        });
 
-    let mut out = results.into_inner();
+    let mut cache = CacheStats::default();
+    let mut failures = FailureStats::new();
+    let mut out = Vec::with_capacity(outputs.len());
+    for (cell, per_cell_stats) in outputs {
+        failures.absorb(&cell.failures);
+        if let Some(stats) = per_cell_stats {
+            cache.absorb(&stats);
+        }
+        out.push(cell);
+    }
+    // Each shared group cache is absorbed exactly once, after every cell
+    // that touched it has finished.
+    for group in &group_caches {
+        for shared in group {
+            cache.absorb(&shared.stats());
+        }
+    }
+
     out.sort_by(|a, b| {
         (a.dataset.clone(), a.model.name(), a.algorithm)
             .cmp(&(b.dataset.clone(), b.model.name(), b.algorithm))
     });
-    out
+    MatrixOutcome { cells: out, cache, failures }
 }
 
 /// Print a fixed-width table: a header row and data rows.
@@ -259,6 +391,13 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Print a matrix run's aggregate cache/failure stats block (rendered by
+/// [`autofp_core::report::matrix_stats_markdown`]) under a results table.
+pub fn print_matrix_stats(outcome: &MatrixOutcome) {
+    println!();
+    print!("{}", autofp_core::report::matrix_stats_markdown(&outcome.cache, &outcome.failures));
+}
+
 /// Format a float with 4 decimals.
 pub fn f4(v: f64) -> String {
     format!("{v:.4}")
@@ -279,6 +418,7 @@ mod tests {
         assert!(cfg.scale > 0.0 && cfg.scale <= 1.0);
         assert!(cfg.threads >= 1);
         assert_eq!(cfg.specs().len(), 12);
+        assert_eq!(cfg.cache_mode, CacheMode::Shared);
     }
 
     #[test]
@@ -288,20 +428,42 @@ mod tests {
         cfg.budget = Budget::evals(4);
         cfg.threads = 2;
         let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
-        let results = run_matrix(
+        let outcome = run_matrix(
             &specs,
             &[ModelKind::Lr],
             &[AlgName::Rs, AlgName::TevoH],
             &cfg,
         );
-        assert_eq!(results.len(), 4);
-        for r in &results {
+        assert_eq!(outcome.cells.len(), 4);
+        for r in &outcome.cells {
             assert_eq!(r.n_evals, 4);
             assert!((0.0..=1.0).contains(&r.best_accuracy));
             assert!(r.best_accuracy >= 0.0);
         }
         // Baselines agree across algorithms of the same cell pair.
-        assert_eq!(results[0].baseline, results[1].baseline);
+        assert_eq!(outcome.cells[0].baseline, outcome.cells[1].baseline);
+        // Every evaluation went through the shared caches.
+        assert_eq!(outcome.cache.lookups(), 16);
+    }
+
+    #[test]
+    fn cache_modes_agree_on_results() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.2;
+        cfg.budget = Budget::evals(4);
+        cfg.threads = 2;
+        let specs: Vec<DatasetSpec> = registry().into_iter().take(1).collect();
+        let models = [ModelKind::Lr];
+        let algs = [AlgName::Rs, AlgName::TevoH];
+        let shared = run_matrix(&specs, &models, &algs, &cfg);
+        cfg.cache_mode = CacheMode::Off;
+        let off = run_matrix(&specs, &models, &algs, &cfg);
+        assert_eq!(shared.cells.len(), off.cells.len());
+        for (a, b) in shared.cells.iter().zip(&off.cells) {
+            assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits());
+            assert_eq!(a.best_pipeline, b.best_pipeline);
+        }
+        assert_eq!(off.cache.lookups(), 0, "CacheMode::Off performs no lookups");
     }
 
     #[test]
@@ -330,10 +492,10 @@ mod tests {
         cfg.repeats = 2;
         cfg.threads = 1;
         let specs: Vec<DatasetSpec> = registry().into_iter().take(1).collect();
-        let results = run_matrix(&specs, &[ModelKind::Lr], &[AlgName::Rs], &cfg);
-        assert_eq!(results.len(), 1);
+        let outcome = run_matrix(&specs, &[ModelKind::Lr], &[AlgName::Rs], &cfg);
+        assert_eq!(outcome.cells.len(), 1);
         // n_evals reports the per-repeat average.
-        assert_eq!(results[0].n_evals, 3);
+        assert_eq!(outcome.cells[0].n_evals, 3);
     }
 
     #[test]
@@ -351,6 +513,7 @@ mod tests {
                 train: Duration::ZERO,
             },
             best_pipeline: String::new(),
+            failures: FailureStats::new(),
         };
         assert_eq!(r.improvement_pp(), 0.0);
     }
@@ -428,15 +591,14 @@ pub mod extended_cmp {
 pub mod automl_cmp {
     use super::{f4, print_table, HarnessConfig};
     use autofp_automl::{AutoSklearnFp, HpoSearch, TpotFp};
-    use autofp_core::{run_search, EvalConfig, Evaluator};
+    use autofp_core::{pool_map, run_search, EvalConfig, Evaluator};
     use autofp_models::classifier::ModelKind;
     use autofp_preprocess::ParamSpace;
     use autofp_search::Pbt;
-    use parking_lot::Mutex;
-    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Auto-FP (PBT over `make_space`) vs TPOT-FP vs Auto-Sklearn-FP vs
-    /// HPO across the dataset × model grid.
+    /// HPO across the dataset × model grid, fanned across cells through
+    /// the core worker pool.
     pub fn run(cfg: &HarnessConfig, figure: &str, space_name: &str, make_space: fn() -> ParamSpace) {
         let specs = cfg.specs();
         println!(
@@ -452,68 +614,58 @@ pub mod automl_cmp {
                 cells.push((di, m));
             }
         }
-        let next = AtomicUsize::new(0);
-        let rows: Mutex<Vec<Vec<String>>> = Mutex::new(Vec::new());
-        let stats: Mutex<[usize; 3]> = Mutex::new([0; 3]);
-        crossbeam::scope(|scope| {
-            for _ in 0..cfg.threads.clamp(1, cells.len()) {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (di, model) = cells[i];
-                    let seed = autofp_linalg::rng::derive_seed(cfg.seed, i as u64);
-                    let ev = Evaluator::new(
-                        &datasets[di],
-                        EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
-                    );
-                    let mut pbt = Pbt::new(make_space(), cfg.max_len, seed);
-                    let auto_fp = run_search(&mut pbt, &ev, cfg.budget).best_accuracy();
-                    let mut tpot = TpotFp::new(seed);
-                    let tpot_fp = run_search(&mut tpot, &ev, cfg.budget).best_accuracy();
-                    let mut ask = AutoSklearnFp;
-                    let ask_fp = run_search(&mut ask, &ev, cfg.budget).best_accuracy();
-                    let mut hpo = HpoSearch::new(model, seed);
-                    let hpo_out = hpo.run(ev.split(), cfg.budget);
+        let outputs: Vec<(Vec<String>, bool, bool)> =
+            pool_map(cfg.threads.max(1), cells.len(), |i| {
+                let (di, model) = cells[i];
+                let seed = autofp_linalg::rng::derive_seed(cfg.seed, i as u64);
+                let ev = Evaluator::new(
+                    &datasets[di],
+                    EvalConfig { model, train_fraction: 0.8, seed: cfg.seed, train_subsample: None },
+                );
+                let mut pbt = Pbt::new(make_space(), cfg.max_len, seed);
+                let auto_fp = run_search(&mut pbt, &ev, cfg.budget).best_accuracy();
+                let mut tpot = TpotFp::new(seed);
+                let tpot_fp = run_search(&mut tpot, &ev, cfg.budget).best_accuracy();
+                let mut ask = AutoSklearnFp;
+                let ask_fp = run_search(&mut ask, &ev, cfg.budget).best_accuracy();
+                let mut hpo = HpoSearch::new(model, seed);
+                let hpo_out = hpo.run(ev.split(), cfg.budget);
 
-                    {
-                        let mut s = stats.lock();
-                        s[0] += usize::from(auto_fp >= tpot_fp);
-                        s[1] += usize::from(auto_fp >= hpo_out.best_accuracy);
-                        s[2] += 1;
-                    }
-                    rows.lock().push(vec![
-                        datasets[di].name.clone(),
-                        model.name().to_string(),
-                        f4(ev.baseline_accuracy()),
-                        f4(auto_fp),
-                        f4(tpot_fp),
-                        f4(ask_fp),
-                        f4(hpo_out.best_accuracy),
-                        if auto_fp >= tpot_fp && auto_fp >= hpo_out.best_accuracy {
-                            "Auto-FP".into()
-                        } else if tpot_fp >= hpo_out.best_accuracy {
-                            "TPOT-FP".into()
-                        } else {
-                            "HPO".into()
-                        },
-                    ]);
-                });
-            }
-        })
-        .expect("worker panicked");
+                let row = vec![
+                    datasets[di].name.clone(),
+                    model.name().to_string(),
+                    f4(ev.baseline_accuracy()),
+                    f4(auto_fp),
+                    f4(tpot_fp),
+                    f4(ask_fp),
+                    f4(hpo_out.best_accuracy),
+                    if auto_fp >= tpot_fp && auto_fp >= hpo_out.best_accuracy {
+                        "Auto-FP".into()
+                    } else if tpot_fp >= hpo_out.best_accuracy {
+                        "TPOT-FP".into()
+                    } else {
+                        "HPO".into()
+                    },
+                ];
+                (row, auto_fp >= tpot_fp, auto_fp >= hpo_out.best_accuracy)
+            });
 
-        let mut rows = rows.into_inner();
+        let mut rows = Vec::with_capacity(outputs.len());
+        let mut beats_tpot = 0usize;
+        let mut beats_hpo = 0usize;
+        let total = outputs.len();
+        for (row, tpot_ok, hpo_ok) in outputs {
+            beats_tpot += usize::from(tpot_ok);
+            beats_hpo += usize::from(hpo_ok);
+            rows.push(row);
+        }
         rows.sort();
         print_table(
             &["Dataset", "Model", "no-FP", "Auto-FP(PBT)", "TPOT-FP", "ASk-FP", "HPO", "Winner"],
             &rows,
         );
-        let s = stats.into_inner();
         println!(
-            "\nAuto-FP beats or ties TPOT-FP in {}/{} cells and HPO in {}/{} cells.",
-            s[0], s[2], s[1], s[2]
+            "\nAuto-FP beats or ties TPOT-FP in {beats_tpot}/{total} cells and HPO in {beats_hpo}/{total} cells.",
         );
     }
 }

@@ -53,6 +53,61 @@ use autofp_preprocess::Pipeline;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
+/// Run `n_jobs` independent jobs across a scoped worker pool and
+/// return their results in input order: `results[i]` is `job(i)`.
+///
+/// This is the one worker-pool primitive of the workspace — the
+/// [`BatchEvaluator`] fans pipeline evaluations through it, and the
+/// bench harness fans whole scenario cells through it — so every layer
+/// inherits the same guarantees:
+///
+/// * **input-order results** — whatever order workers finish in,
+///   `results[i]` always belongs to job `i`;
+/// * **thread-count invariance** — jobs receive only their index, so a
+///   deterministic `job` function yields bit-identical results at any
+///   `threads` value (`threads <= 1` runs inline on the caller);
+/// * **panic propagation** — a panicking job aborts the pool (scoped
+///   threads re-raise on join). Jobs that must survive faults shield
+///   themselves, as [`BatchEvaluator`] does via
+///   [`evaluate_or_worst`].
+pub fn pool_map<T, F>(threads: usize, n_jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n_jobs);
+    if workers <= 1 {
+        return (0..n_jobs).map(job).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let result = job(i);
+                // A slot mutex is written once by exactly one worker;
+                // recovering from a (theoretical) poison is safe
+                // because `Some(result)` is assigned atomically from
+                // the worker's point of view.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                // lint:allow(panic-boundary): the fetch_add loop claims every index below n_jobs exactly once
+                .expect("every job index below n_jobs is claimed by exactly one worker")
+        })
+        .collect()
+}
+
 /// Evaluates batches of candidate pipelines on a worker pool, with
 /// optional pipeline-result caching and cooperative cancellation.
 ///
@@ -195,42 +250,9 @@ impl<'a> BatchEvaluator<'a> {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let workers = self.threads.min(jobs.len());
-        if workers <= 1 {
-            return jobs
-                .iter()
-                .map(|p| evaluate_or_worst(self.evaluator, p, fraction, &self.cancel))
-                .collect();
-        }
-
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Trial>>> =
-            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let trial = evaluate_or_worst(self.evaluator, jobs[i], fraction, &self.cancel);
-                    // A slot mutex is written once by exactly one
-                    // worker; recovering from a (theoretical) poison
-                    // is safe because `Some(trial)` is assigned
-                    // atomically from the worker's point of view.
-                    *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(trial);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    // lint:allow(panic-boundary): the fetch_add loop claims every index below jobs.len() exactly once
-                    .expect("every job index below jobs.len() is claimed by exactly one worker")
-            })
-            .collect()
+        pool_map(self.threads, jobs.len(), |i| {
+            evaluate_or_worst(self.evaluator, jobs[i], fraction, &self.cancel)
+        })
     }
 }
 
@@ -253,6 +275,29 @@ mod tests {
         let space = ParamSpace::default_space();
         let mut rng = rng_from_seed(seed);
         (0..n).map(|_| space.sample_pipeline(&mut rng, 4)).collect()
+    }
+
+    #[test]
+    fn pool_map_results_are_input_ordered_at_any_thread_count() {
+        let job = |i: usize| i * i + 1;
+        let expected: Vec<usize> = (0..37).map(job).collect();
+        for threads in [0, 1, 2, 5, 16] {
+            assert_eq!(pool_map(threads, 37, job), expected, "threads = {threads}");
+        }
+        assert!(pool_map::<usize, _>(4, 0, job).is_empty());
+    }
+
+    #[test]
+    fn pool_map_runs_every_job_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let out = pool_map(8, 64, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "job {i} ran a wrong number of times");
+        }
     }
 
     #[test]

@@ -139,6 +139,19 @@ impl CacheStats {
             self.hits as f64 / self.lookups() as f64
         }
     }
+
+    /// Fold another snapshot into this one (all counters summed).
+    ///
+    /// Used to aggregate per-cache snapshots into matrix-level totals;
+    /// sum each distinct cache exactly once — `entries` adds up, so
+    /// absorbing two snapshots of the *same* cache double-counts.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.entries += other.entries;
+        self.evictions += other.evictions;
+        self.saved += other.saved;
+    }
 }
 
 /// Map + recency index guarded by one mutex so the two can never skew.
@@ -315,6 +328,59 @@ impl EvalCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             saved: Duration::from_nanos(self.saved_nanos.load(Ordering::Relaxed)),
         }
+    }
+}
+
+/// A clonable, `Arc`-backed handle to one [`EvalCache`].
+///
+/// [`EvalCache`] itself is already thread-safe behind `&self` (interior
+/// locking, atomic counters), but it is not clonable — sharing it
+/// requires threading one borrow everywhere. `SharedEvalCache` is the
+/// ownership story for long-lived sharing: the bench harness hands one
+/// handle per (dataset, model) group to every algorithm cell, each
+/// clone is a few words, and the memo plus its hit/miss/eviction
+/// counters stay exact because every handle operates on the same
+/// underlying cache.
+///
+/// Deref gives `&EvalCache`, so a handle plugs directly into
+/// [`crate::BatchEvaluator::with_cache`] and
+/// [`crate::SearchContext::attach_cache`].
+///
+/// ```
+/// use autofp_core::SharedEvalCache;
+/// let shared = SharedEvalCache::new();
+/// let clone = shared.clone();
+/// assert_eq!(clone.len(), 0);
+/// assert!(SharedEvalCache::same_cache(&shared, &clone));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedEvalCache {
+    inner: std::sync::Arc<EvalCache>,
+}
+
+impl SharedEvalCache {
+    /// A handle to a fresh, unbounded cache.
+    pub fn new() -> SharedEvalCache {
+        SharedEvalCache::default()
+    }
+
+    /// A handle to a fresh cache capped at `capacity` entries (LRU
+    /// eviction; see [`EvalCache::with_capacity`]).
+    pub fn with_capacity(capacity: usize) -> SharedEvalCache {
+        SharedEvalCache { inner: std::sync::Arc::new(EvalCache::with_capacity(capacity)) }
+    }
+
+    /// True when two handles share one underlying cache.
+    pub fn same_cache(a: &SharedEvalCache, b: &SharedEvalCache) -> bool {
+        std::sync::Arc::ptr_eq(&a.inner, &b.inner)
+    }
+}
+
+impl std::ops::Deref for SharedEvalCache {
+    type Target = EvalCache;
+
+    fn deref(&self) -> &EvalCache {
+        &self.inner
     }
 }
 
@@ -500,6 +566,43 @@ mod tests {
         }
         assert_eq!(cache.len(), PreprocKind::ALL.len() * PreprocKind::ALL.len());
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn shared_handles_see_one_memo_and_exact_counters() {
+        let shared = SharedEvalCache::with_capacity(8);
+        let clone = shared.clone();
+        assert!(SharedEvalCache::same_cache(&shared, &clone));
+        assert_eq!(clone.capacity(), Some(8));
+
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let key = key_for(PreprocKind::StandardScaler);
+        shared.insert(&key, &trial_for(&p, 0.9));
+        // The clone sees the entry and its lookup counts on the shared
+        // counters.
+        assert_eq!(clone.lookup(&key).map(|t| t.accuracy), Some(0.9));
+        let s = shared.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 0, 1));
+    }
+
+    #[test]
+    fn absorb_sums_every_counter() {
+        let a = CacheStats {
+            hits: 3,
+            misses: 2,
+            entries: 2,
+            evictions: 1,
+            saved: Duration::from_millis(10),
+        };
+        let mut total = CacheStats::default();
+        total.absorb(&a);
+        total.absorb(&a);
+        assert_eq!(total.hits, 6);
+        assert_eq!(total.misses, 4);
+        assert_eq!(total.entries, 4);
+        assert_eq!(total.evictions, 2);
+        assert_eq!(total.saved, Duration::from_millis(20));
+        assert!((total.hit_rate() - 0.6).abs() < 1e-12);
     }
 
     #[test]

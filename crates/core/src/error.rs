@@ -178,6 +178,14 @@ impl FailureStats {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Fold another tally into this one (counts summed per kind).
+    /// Used to aggregate per-cell tallies into matrix-level totals.
+    pub fn absorb(&mut self, other: &FailureStats) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +236,18 @@ mod tests {
         assert_eq!(s.count(FailureKind::Deadline), 1);
         assert_eq!(s.count(FailureKind::NonFinite), 0);
         assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn absorb_sums_counts_per_kind() {
+        let mut a = FailureStats::new();
+        a.record(FailureKind::Panic);
+        let mut b = FailureStats::new();
+        b.record(FailureKind::Panic);
+        b.record(FailureKind::Deadline);
+        a.absorb(&b);
+        assert_eq!(a.count(FailureKind::Panic), 2);
+        assert_eq!(a.count(FailureKind::Deadline), 1);
+        assert_eq!(a.total(), 3);
     }
 }

@@ -265,8 +265,31 @@ pub fn run_search_cached(
     budget: Budget,
     cache: &EvalCache,
 ) -> SearchOutcome {
+    run_search_with(searcher, evaluator, budget, None, Some(cache))
+}
+
+/// Run a searcher with full control over the context: an explicit
+/// batch-evaluation worker count (`None` = available parallelism) and
+/// an optional [`EvalCache`].
+///
+/// This is the bench harness's entry point: matrix cells run their
+/// searches single-threaded (`batch_threads = Some(1)`, the paper's
+/// `n_jobs = 1`) while the harness parallelizes *across* cells, and
+/// every cell of the same (dataset, model) group shares one cache.
+pub fn run_search_with(
+    searcher: &mut dyn Searcher,
+    evaluator: &dyn Evaluate,
+    budget: Budget,
+    batch_threads: Option<usize>,
+    cache: Option<&EvalCache>,
+) -> SearchOutcome {
     let mut ctx = SearchContext::new(evaluator, budget);
-    ctx.attach_cache(cache);
+    if let Some(threads) = batch_threads {
+        ctx.set_batch_threads(threads);
+    }
+    if let Some(cache) = cache {
+        ctx.attach_cache(cache);
+    }
     searcher.search(&mut ctx);
     ctx.finish(searcher.name())
 }

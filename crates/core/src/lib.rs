@@ -43,12 +43,14 @@ pub mod patterns;
 pub mod report;
 pub mod ranking;
 
-pub use batch::BatchEvaluator;
+pub use batch::{pool_map, BatchEvaluator};
 pub use budget::{Budget, BudgetClock};
-pub use cache::{CacheKey, CacheStats, EvalCache};
+pub use cache::{CacheKey, CacheStats, EvalCache, SharedEvalCache};
 pub use error::{EvalError, FailureKind, FailureStats};
 pub use evaluator::{evaluate_or_worst, Evaluate, EvalConfig, Evaluator};
 pub use fault::{FaultConfig, FaultInjector, InjectedPanic};
-pub use framework::{run_search, run_search_cached, SearchContext, SearchOutcome, Searcher};
+pub use framework::{
+    run_search, run_search_cached, run_search_with, SearchContext, SearchOutcome, Searcher,
+};
 pub use history::{PhaseBreakdown, Trial, TrialHistory};
 pub use order::{nan_largest, nan_smallest};

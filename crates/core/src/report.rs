@@ -110,6 +110,46 @@ pub fn cache_stats_markdown(stats: &CacheStats) -> String {
     out
 }
 
+/// Render matrix-level aggregate statistics — one cache tally and one
+/// failure tally folded over every cell of a dataset × model ×
+/// algorithm matrix — as a compact Markdown block.
+///
+/// The bench harness prints this under each results table so shared
+/// cross-algorithm cache reuse (and any worst-error trials) are
+/// observable in the report itself.
+pub fn matrix_stats_markdown(cache: &CacheStats, failures: &FailureStats) -> String {
+    let mut out = String::from("### Matrix aggregate stats\n\n");
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| cache lookups | {} |", cache.lookups());
+    let _ = writeln!(
+        out,
+        "| cache hits | {} ({:.1}%) |",
+        cache.hits,
+        cache.hit_rate() * 100.0
+    );
+    let _ = writeln!(out, "| cache misses | {} |", cache.misses);
+    let _ = writeln!(out, "| cache entries | {} |", cache.entries);
+    let _ = writeln!(out, "| cache evictions | {} |", cache.evictions);
+    let _ = writeln!(out, "| eval time saved | {:.3} s |", cache.saved.as_secs_f64());
+    if failures.total() == 0 {
+        let _ = writeln!(out, "| failed trials | 0 |");
+    } else {
+        let detail: Vec<String> = FailureKind::ALL
+            .iter()
+            .filter(|&&k| failures.count(k) > 0)
+            .map(|&k| format!("{} {}", failures.count(k), k.name()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "| failed trials | {} ({}) |",
+            failures.total(),
+            detail.join(", ")
+        );
+    }
+    out
+}
+
 /// The best-so-far accuracy after each evaluation (the paper's anytime
 /// curves, Figures 17-19).
 pub fn best_so_far_curve(outcome: &SearchOutcome) -> Vec<f64> {
@@ -217,6 +257,26 @@ mod tests {
         assert!(md.contains("hit rate"));
         let summary = summary_markdown(&out, ev.baseline_accuracy());
         assert!(summary.contains("| cache |"));
+    }
+
+    #[test]
+    fn matrix_stats_render_cache_and_failures() {
+        use crate::cache::CacheStats;
+        use crate::error::{FailureKind, FailureStats};
+        let mut cache = CacheStats::default();
+        cache.hits = 3;
+        cache.misses = 7;
+        cache.entries = 7;
+        cache.evictions = 2;
+        let mut failures = FailureStats::new();
+        let md = matrix_stats_markdown(&cache, &failures);
+        assert!(md.contains("| cache lookups | 10 |"));
+        assert!(md.contains("| cache hits | 3 (30.0%) |"));
+        assert!(md.contains("| cache evictions | 2 |"));
+        assert!(md.contains("| failed trials | 0 |"));
+        failures.record(FailureKind::Panic);
+        let md = matrix_stats_markdown(&cache, &failures);
+        assert!(md.contains("| failed trials | 1 (1 panic) |"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use autofp_core::{nan_smallest, SearchContext, Searcher};
 use autofp_linalg::rng::{derive_seed, rng_from_seed, sample_indices};
 use autofp_linalg::Matrix;
 use autofp_preprocess::encoding::encode_pipeline;
-use autofp_preprocess::ParamSpace;
+use autofp_preprocess::{ParamSpace, Pipeline};
 use autofp_surrogate::lstm::{LstmEnsemble, LstmRegParams, LstmRegressor};
 use autofp_surrogate::mlp_reg::{MlpEnsemble, MlpRegParams, MlpRegressor};
 use rand::rngs::StdRng;
@@ -152,17 +152,11 @@ impl Searcher for ProgressiveNas {
         let mut evaluated: HashSet<Vec<usize>> = HashSet::new();
 
         // Level 1: evaluate single-symbol pipelines (the paper: "initially
-        // starts by considering single preprocessors as pipelines").
-        let singles = self.expansion_tokens();
-        for t in singles {
-            let tokens = vec![t];
-            if evaluated.contains(&tokens) {
-                continue;
-            }
-            let p = self.alphabet.decode(&tokens);
-            let Some(trial) = ctx.evaluate(&p) else { return };
-            evaluated.insert(tokens.clone());
-            history.push((tokens, trial.accuracy));
+        // starts by considering single preprocessors as pipelines"), as
+        // one batch — the candidates are result-independent.
+        let singles: Vec<Vec<usize>> = self.expansion_tokens().into_iter().map(|t| vec![t]).collect();
+        if !record_batch(ctx, &self.alphabet, &singles, &mut evaluated, &mut history) {
+            return;
         }
 
         let mut round: u64 = 0;
@@ -196,11 +190,12 @@ impl Searcher for ProgressiveNas {
                 if scored.is_empty() {
                     break;
                 }
-                for (_, tokens) in scored {
-                    let p = self.alphabet.decode(&tokens);
-                    let Some(trial) = ctx.evaluate(&p) else { return };
-                    evaluated.insert(tokens.clone());
-                    history.push((tokens, trial.accuracy));
+                // The surrogate already scored the whole level: the
+                // beam_size winners are result-independent, so expand
+                // them as one batch.
+                let winners: Vec<Vec<usize>> = scored.into_iter().map(|(_, t)| t).collect();
+                if !record_batch(ctx, &self.alphabet, &winners, &mut evaluated, &mut history) {
+                    return;
                 }
                 beam = top_k_of_len(&history, level, self.beam_size);
                 if beam.is_empty() {
@@ -212,6 +207,33 @@ impl Searcher for ProgressiveNas {
             }
         }
     }
+}
+
+/// Evaluate `candidates` (already deduplicated against `evaluated`) as
+/// one batch through the context's worker pool and record them in the
+/// searcher's bookkeeping. Returns `false` when the search must stop:
+/// the budget was exhausted before (`None`) or during (truncated batch)
+/// the evaluations. Trials are appended in candidate order, so the
+/// history is bit-identical to the old one-at-a-time loop.
+fn record_batch(
+    ctx: &mut SearchContext,
+    alphabet: &Alphabet,
+    candidates: &[Vec<usize>],
+    evaluated: &mut HashSet<Vec<usize>>,
+    history: &mut Vec<(Vec<usize>, f64)>,
+) -> bool {
+    let fresh: Vec<&Vec<usize>> =
+        candidates.iter().filter(|t| !evaluated.contains(*t)).collect();
+    if fresh.is_empty() {
+        return true;
+    }
+    let pipelines: Vec<Pipeline> = fresh.iter().map(|t| alphabet.decode(t)).collect();
+    let Some(trials) = ctx.evaluate_batch(&pipelines) else { return false };
+    for (tokens, trial) in fresh.iter().zip(&trials) {
+        evaluated.insert((*tokens).clone());
+        history.push(((*tokens).clone(), trial.accuracy));
+    }
+    trials.len() == pipelines.len()
 }
 
 /// Top-k token sequences of a given length by observed accuracy.
@@ -275,6 +297,40 @@ mod tests {
         let before = keys.len();
         keys.dedup();
         assert_eq!(keys.len(), before, "PNAS re-evaluated a pipeline");
+    }
+
+    /// The batched candidate-expansion step must not let the worker
+    /// count leak into results: the same seeded search on 1 and 4 batch
+    /// threads has to produce bit-identical trials, in the same order
+    /// (the invariant the Hyperband/BOHB rung tests pin for bandits).
+    #[test]
+    fn pnas_history_bit_identical_across_worker_counts() {
+        use autofp_core::SearchContext;
+        let ev = evaluator();
+        let run = |threads: usize| {
+            let mut pnas = ProgressiveNas::new(
+                ParamSpace::default_space(),
+                3,
+                SurrogateKind::MlpNoEnsemble,
+                7,
+            );
+            pnas.beam_size = 4;
+            let mut ctx = SearchContext::new(&ev, Budget::evals(25));
+            ctx.set_batch_threads(threads);
+            pnas.search(&mut ctx);
+            ctx.finish("PMNE")
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(seq.history.len(), par.history.len());
+        assert!(!seq.history.is_empty());
+        for (a, b) in seq.history.trials().iter().zip(par.history.trials()) {
+            assert_eq!(a.pipeline.key(), b.pipeline.key());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(a.error.to_bits(), b.error.to_bits());
+            assert_eq!(a.train_fraction.to_bits(), b.train_fraction.to_bits());
+            assert_eq!(a.failure, b.failure);
+        }
     }
 
     #[test]

@@ -2,12 +2,18 @@
 //! panic-free on pathological inputs — NaN/Inf cells, constant features,
 //! single-row classes, extreme magnitudes, and degenerate budgets.
 
-use autofp::core::{run_search, Budget, EvalConfig, Evaluator};
-use autofp::data::{Dataset, SynthConfig};
+use autofp::core::{
+    run_search, Budget, EvalConfig, EvalError, Evaluate, Evaluator, FailureKind, Trial,
+};
+use autofp::data::{registry, Dataset, DatasetSpec, SynthConfig};
 use autofp::linalg::Matrix;
 use autofp::models::classifier::ModelKind;
-use autofp::preprocess::ParamSpace;
+use autofp::models::CancelToken;
+use autofp::preprocess::{ParamSpace, Pipeline, PreprocKind};
 use autofp::search::{make_searcher, AlgName};
+use autofp_bench::{run_matrix_with, HarnessConfig, MatrixOutcome};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A dataset contaminated with NaN, Inf, constants and huge magnitudes.
 fn poisoned_dataset() -> Dataset {
@@ -114,6 +120,124 @@ fn single_feature_dataset_works_end_to_end() {
     let out = run_search(s.as_mut(), &ev, Budget::evals(10));
     assert_eq!(out.history.len(), 10);
     assert!(out.best_accuracy() > 0.0);
+}
+
+/// Wraps the real [`Evaluator`] and panics on one specific pipeline —
+/// a deterministic fault targeting the matrix path. The counter tracks
+/// *real* panics (as opposed to cached worst-error trials).
+struct PanicsOn {
+    inner: Evaluator,
+    victim: String,
+    panics: Arc<AtomicU64>,
+}
+
+impl Evaluate for PanicsOn {
+    fn evaluate_raw(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        if pipeline.key() == self.victim {
+            self.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: victim pipeline reached the trainer");
+        }
+        self.inner.evaluate_raw(pipeline, fraction, cancel)
+    }
+    fn config(&self) -> &EvalConfig {
+        self.inner.config()
+    }
+    fn baseline_accuracy(&self) -> f64 {
+        self.inner.baseline_accuracy()
+    }
+    fn train_rows(&self) -> usize {
+        self.inner.train_rows()
+    }
+}
+
+/// Cell results reduced to their deterministic fields (no wall-clock,
+/// no cache counters).
+fn canonical_cells(outcome: &MatrixOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for c in &outcome.cells {
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{:016x}|{}|{}|{}",
+            c.dataset,
+            c.model.name(),
+            c.algorithm,
+            c.best_accuracy.to_bits(),
+            c.n_evals,
+            c.best_pipeline,
+            c.failures.count(FailureKind::Panic),
+        );
+    }
+    s
+}
+
+/// One deterministic panicking pipeline inside a matrix run costs
+/// exactly one worst-error trial per affected cell and never poisons
+/// the shared cache: the panic's worst-error trial is served from the
+/// cache to later cells of the group (counters stay exact, no second
+/// panic), and the worker-thread count cannot leak into results even
+/// under faults.
+#[test]
+fn matrix_panic_costs_one_trial_per_cell_and_spares_the_shared_cache() {
+    // PMNE and PLNE both deterministically evaluate all 7 single-step
+    // pipelines first, so every cell evaluates the victim exactly once.
+    let victim = Pipeline::from_kinds(&[PreprocKind::StandardScaler]).key();
+    let mut cfg = HarnessConfig::default();
+    cfg.scale = 0.05;
+    cfg.budget = Budget::evals(8);
+    cfg.max_rows = 160;
+    cfg.min_rows = 120;
+    cfg.max_len = 3;
+    cfg.seed = 11;
+    let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+    let models = [ModelKind::Lr, ModelKind::Xgb];
+    let algs = [AlgName::Pmne, AlgName::Plne];
+    let run = |threads: usize, real_panics: &Arc<AtomicU64>| {
+        let mut cfg = cfg.clone();
+        cfg.threads = threads;
+        run_matrix_with(&specs, &models, &algs, &cfg, |d, c| {
+            Box::new(PanicsOn {
+                inner: Evaluator::new(d, c),
+                victim: victim.clone(),
+                panics: real_panics.clone(),
+            })
+        })
+    };
+
+    let sequential_panics = Arc::new(AtomicU64::new(0));
+    let outcome = run(1, &sequential_panics);
+    assert_eq!(outcome.cells.len(), 8, "2 datasets x 2 models x 2 algorithms");
+    for c in &outcome.cells {
+        assert_eq!(
+            c.failures.count(FailureKind::Panic),
+            1,
+            "{}/{}/{} must record exactly one panic worst-error trial",
+            c.dataset,
+            c.model.name(),
+            c.algorithm
+        );
+        assert_eq!(c.n_evals, 8, "the panic costs one trial, never the cell");
+    }
+    assert_eq!(outcome.failures.count(FailureKind::Panic), 8);
+    // Sequential cells + one shared cache per (dataset, model) group:
+    // the group's first cell panics for real, the second is served the
+    // memoized worst-error trial — 4 groups, 4 real panics. A poisoned
+    // cache would either panic again or stop serving hits.
+    assert_eq!(sequential_panics.load(Ordering::Relaxed), 4);
+    assert!(outcome.cache.hits >= 28, "PLNE's singles must hit PMNE's cached work");
+
+    let parallel_panics = Arc::new(AtomicU64::new(0));
+    let parallel = run(8, &parallel_panics);
+    assert_eq!(
+        canonical_cells(&outcome),
+        canonical_cells(&parallel),
+        "worker-thread count leaked into faulted matrix results"
+    );
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! Matrix-level determinism and cache-reuse suite: the bench harness's
+//! dataset × model × algorithm runner must be a pure function of its
+//! config — worker-thread count, rerun, cache mode, and LRU capacity
+//! may change wall-clock, never results.
+//!
+//! This extends the per-search invariants of `tests/determinism.rs` to
+//! the bench layer: a mini Table 4 matrix (2 datasets × 2 models × 3
+//! algorithms) is canonicalized to a byte string (f64 bit patterns, no
+//! wall-clock fields) and compared across runs.
+
+use autofp_bench::{run_matrix, CacheMode, HarnessConfig, MatrixOutcome};
+use autofp_core::{Budget, FailureKind};
+use autofp_data::{registry, DatasetSpec};
+use autofp_models::classifier::ModelKind;
+use autofp_search::AlgName;
+use std::fmt::Write as _;
+
+/// The mini Table 4 matrix: small datasets, eval-count budget (so cache
+/// hits cannot change how many proposals fit in the budget), and two
+/// PNAS variants that both open with the same 7 single-preprocessor
+/// pipelines — guaranteed cross-algorithm duplicates for the shared
+/// cache to absorb.
+fn mini_config() -> (Vec<DatasetSpec>, [ModelKind; 2], [AlgName; 3], HarnessConfig) {
+    let mut cfg = HarnessConfig::default();
+    cfg.scale = 0.05;
+    cfg.budget = Budget::evals(8);
+    cfg.max_rows = 160;
+    cfg.min_rows = 120;
+    cfg.max_len = 3;
+    cfg.seed = 11;
+    let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+    (specs, [ModelKind::Lr, ModelKind::Xgb], [AlgName::Rs, AlgName::Pmne, AlgName::Plne], cfg)
+}
+
+/// Serialize everything deterministic about a matrix run: cell identity,
+/// f64 bit patterns, eval counts, winning pipelines, and failure
+/// tallies. Cache counters and phase timings are deliberately excluded
+/// (hit/miss splits race under a shared cache; timings are wall-clock).
+fn canonical(outcome: &MatrixOutcome) -> String {
+    let mut s = String::new();
+    for c in &outcome.cells {
+        let failures: Vec<String> = FailureKind::ALL
+            .iter()
+            .map(|&k| format!("{}={}", k.name(), c.failures.count(k)))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{:016x}|{:016x}|{}|{}|{}",
+            c.dataset,
+            c.model.name(),
+            c.algorithm,
+            c.baseline.to_bits(),
+            c.best_accuracy.to_bits(),
+            c.n_evals,
+            c.best_pipeline,
+            failures.join(","),
+        );
+    }
+    s
+}
+
+#[test]
+fn matrix_byte_identical_across_thread_counts_and_reruns() {
+    let (specs, models, algs, mut cfg) = mini_config();
+    cfg.threads = 1;
+    let single = canonical(&run_matrix(&specs, &models, &algs, &cfg));
+    let rerun = canonical(&run_matrix(&specs, &models, &algs, &cfg));
+    assert_eq!(single, rerun, "same config must reproduce byte-identically");
+    cfg.threads = 8;
+    let eight = canonical(&run_matrix(&specs, &models, &algs, &cfg));
+    assert_eq!(single, eight, "worker-thread count leaked into matrix results");
+    assert_eq!(single.lines().count(), 12, "2 datasets x 2 models x 3 algorithms");
+}
+
+#[test]
+fn shared_cache_matches_per_cell_and_reuses_across_algorithms() {
+    let (specs, models, algs, mut cfg) = mini_config();
+    // Sequential cells make the hit counts deterministic: concurrent
+    // cells of one group can race to a miss on the same key (results
+    // stay bit-identical — thread invariance is pinned above — but the
+    // hit/miss split would wobble).
+    cfg.threads = 1;
+    cfg.cache_mode = CacheMode::Shared;
+    let shared = run_matrix(&specs, &models, &algs, &cfg);
+    cfg.cache_mode = CacheMode::PerCell;
+    let per_cell = run_matrix(&specs, &models, &algs, &cfg);
+
+    assert_eq!(
+        canonical(&shared),
+        canonical(&per_cell),
+        "cache sharing must never change results"
+    );
+    // PMNE and PLNE both evaluate the 7 single-preprocessor pipelines
+    // first, so each (dataset, model) group's shared cache serves at
+    // least those 7 across algorithms: 4 groups x 7 = 28 minimum.
+    assert!(
+        shared.cache.hits >= 28,
+        "expected >= 28 cross-algorithm cache hits, got {}",
+        shared.cache.hits
+    );
+    assert!(
+        shared.cache.misses < per_cell.cache.misses,
+        "shared cache must evaluate strictly less than per-cell caches ({} vs {})",
+        shared.cache.misses,
+        per_cell.cache.misses
+    );
+    // Both modes perform the same number of lookups (cache hits still
+    // count toward the eval budget).
+    assert_eq!(shared.cache.lookups(), per_cell.cache.lookups());
+}
+
+#[test]
+fn lru_cap_evicts_without_changing_results() {
+    let (specs, models, algs, mut cfg) = mini_config();
+    cfg.threads = 2;
+    cfg.cache_mode = CacheMode::Shared;
+    let unbounded = run_matrix(&specs, &models, &algs, &cfg);
+    assert_eq!(unbounded.cache.evictions, 0, "unbounded caches never evict");
+
+    cfg.cache_capacity = Some(3);
+    let capped = run_matrix(&specs, &models, &algs, &cfg);
+    assert_eq!(
+        canonical(&unbounded),
+        canonical(&capped),
+        "LRU eviction must only cost recomputation, never change results"
+    );
+    assert!(capped.cache.evictions > 0, "a 3-entry cap over 8-eval searches must evict");
+    // `entries` aggregates over the 4 (dataset, model) group caches,
+    // each individually capped at 3 live entries.
+    assert!(
+        capped.cache.entries <= 4 * 3,
+        "with_capacity(3) violated: {} live entries across 4 group caches",
+        capped.cache.entries
+    );
+}
