@@ -3,16 +3,33 @@
 //! improvements and the overall average ranking.
 //!
 //! Usage: `cargo run --release -p autofp-bench --bin exp_table4
-//!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all] [--seed X]`
+//!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all] [--seed X]
+//!   [--workers N | --remote addr,addr,...]`
+//!
+//! `--workers N` spawns N local `evald` daemons and routes every
+//! evaluation through the sharded remote evaluator; `--remote` points
+//! at an already-running fleet instead.
 
-use autofp_bench::{f2, print_matrix_stats, print_table, run_matrix, HarnessConfig};
+use autofp_bench::{
+    f2, print_matrix_stats, print_table, run_matrix, spawn_local_workers, HarnessConfig,
+};
 use autofp_core::ranking::{average_rankings, order_by_rank, Scenario, IMPROVEMENT_THRESHOLD};
 use autofp_models::classifier::ModelKind;
 use autofp_search::AlgName;
 use std::collections::BTreeMap;
 
 fn main() {
-    let cfg = HarnessConfig::from_args();
+    let mut cfg = HarnessConfig::from_args();
+    // Spawn the local fleet first so it dies with this process (drop
+    // kills the children) even if the run panics.
+    let fleet = if cfg.workers > 0 && cfg.remote_addrs.is_empty() {
+        let fleet = spawn_local_workers(cfg.workers).expect("spawn evald workers");
+        cfg.remote_addrs = fleet.addrs();
+        println!("spawned {} evald workers: {:?}\n", fleet.len(), cfg.remote_addrs);
+        Some(fleet)
+    } else {
+        None
+    };
     let specs = cfg.specs();
     let algorithms = AlgName::ALL;
     println!(
@@ -98,4 +115,20 @@ fn main() {
          the LSTM-surrogate PNAS variants trail RS; PMNE/PME are the surrogate exceptions."
     );
     print_matrix_stats(&outcome);
+
+    // With a remote fleet, report each worker's cumulative counters
+    // before the fleet is torn down.
+    if !cfg.remote_addrs.is_empty() {
+        println!("\n-- evald worker stats --");
+        for addr in &cfg.remote_addrs {
+            match autofp_evald::stats(addr, std::time::Duration::from_secs(5)) {
+                Ok(s) => println!(
+                    "  {addr}: served={} contexts={} hits={} misses={} entries={} evictions={}",
+                    s.served, s.contexts, s.hits, s.misses, s.entries, s.evictions
+                ),
+                Err(e) => println!("  {addr}: unreachable ({e})"),
+            }
+        }
+    }
+    drop(fleet);
 }

@@ -17,9 +17,10 @@
 
 use autofp_core::{
     pool_map, run_search_with, Budget, CacheStats, EvalCache, EvalConfig, Evaluate, Evaluator,
-    FailureStats, PhaseBreakdown, SharedEvalCache,
+    FailureStats, PhaseBreakdown, RemoteEvaluator, SharedEvalCache,
 };
-use autofp_data::{registry, Dataset, DatasetSpec};
+use autofp_data::{registry, spec_by_name, Dataset, DatasetSpec};
+use autofp_evald::{EvalContext, TcpBackend, WorkerFleet};
 use autofp_models::classifier::ModelKind;
 use autofp_preprocess::ParamSpace;
 use autofp_search::{make_searcher, AlgName};
@@ -70,6 +71,14 @@ pub struct HarnessConfig {
     pub cache_mode: CacheMode,
     /// Optional LRU entry cap for each matrix cache; `None` = unbounded.
     pub cache_capacity: Option<usize>,
+    /// Addresses of `evald` worker daemons; non-empty routes every
+    /// matrix evaluation through [`RemoteEvaluator`], sharded across
+    /// the fleet by the stable cache-key fingerprint.
+    pub remote_addrs: Vec<String>,
+    /// Number of local `evald` workers to spawn for the run (0 = none).
+    /// The exp binaries spawn the fleet via [`spawn_local_workers`] and
+    /// fill in `remote_addrs` from it.
+    pub workers: usize,
 }
 
 impl Default for HarnessConfig {
@@ -86,19 +95,33 @@ impl Default for HarnessConfig {
             repeats: 1,
             cache_mode: CacheMode::Shared,
             cache_capacity: None,
+            remote_addrs: Vec::new(),
+            workers: 0,
         }
     }
 }
 
 impl HarnessConfig {
-    /// Parse `--key value` style CLI arguments over the defaults.
+    /// Parse this process's CLI arguments over the defaults (see
+    /// [`HarnessConfig::from_arg_slice`]).
+    pub fn from_args() -> HarnessConfig {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::from_arg_slice(&args)
+    }
+
+    /// Parse `--key value` style arguments over the defaults.
     ///
     /// Recognized keys: `--scale`, `--budget-ms`, `--evals`, `--seed`,
     /// `--datasets` (count or `all`), `--threads`, `--max-len`,
-    /// `--cache` (`shared`/`per-cell`/`off`), `--cache-cap`.
-    pub fn from_args() -> HarnessConfig {
+    /// `--cache` (`shared`/`per-cell`/`off`), `--cache-cap`,
+    /// `--remote` (comma-separated worker addresses), `--workers`
+    /// (local worker processes to spawn).
+    ///
+    /// `--cache-cap 0` with a caching mode is contradictory (every
+    /// insert would be evicted immediately, paying lock traffic for
+    /// zero reuse), so it downgrades to `--cache off` with a warning.
+    pub fn from_arg_slice(args: &[String]) -> HarnessConfig {
         let mut cfg = HarnessConfig::default();
-        let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
             let key = args[i].as_str();
@@ -134,9 +157,21 @@ impl HarnessConfig {
                 "--cache-cap" => {
                     cfg.cache_capacity = Some(val.parse().expect("--cache-cap takes an integer"));
                 }
+                "--remote" => {
+                    cfg.remote_addrs =
+                        val.split(',').filter(|s| !s.is_empty()).map(String::from).collect();
+                }
+                "--workers" => cfg.workers = val.parse().expect("--workers takes an integer"),
                 other => panic!("unknown argument: {other}"),
             }
             i += 2;
+        }
+        if cfg.cache_capacity == Some(0) && cfg.cache_mode != CacheMode::Off {
+            eprintln!(
+                "warning: --cache-cap 0 makes every cache insert evict immediately; \
+                 downgrading to --cache off"
+            );
+            cfg.cache_mode = CacheMode::Off;
         }
         cfg
     }
@@ -150,14 +185,24 @@ impl HarnessConfig {
         specs
     }
 
+    /// The scale a dataset is actually generated at: `scale` tightened
+    /// by the `max_rows` cap and lifted by the `min_rows` floor.
+    ///
+    /// Remote workers regenerate datasets from (name, scale) alone, so
+    /// this must be the *exact* value [`HarnessConfig::generate`] uses —
+    /// both call this one function.
+    pub fn effective_scale(&self, spec: &DatasetSpec) -> f64 {
+        let cap_scale = self.max_rows as f64 / spec.rows as f64;
+        let floor_scale = self.min_rows as f64 / spec.rows as f64;
+        let scale = self.scale.min(cap_scale).max(floor_scale);
+        scale.clamp(f64::MIN_POSITIVE, 1.0)
+    }
+
     /// Generate a dataset at this config's scale, additionally capped at
     /// `max_rows` rows (the cap tightens the effective scale rather than
     /// subsampling after the fact, so generation stays cheap).
     pub fn generate(&self, spec: &DatasetSpec) -> Dataset {
-        let cap_scale = self.max_rows as f64 / spec.rows as f64;
-        let floor_scale = self.min_rows as f64 / spec.rows as f64;
-        let scale = self.scale.min(cap_scale).max(floor_scale);
-        spec.generate(scale.clamp(f64::MIN_POSITIVE, 1.0))
+        spec.generate(self.effective_scale(spec))
     }
 
     /// A fresh cache honoring `cache_capacity`.
@@ -218,16 +263,64 @@ pub struct MatrixOutcome {
     pub failures: FailureStats,
 }
 
+/// Per-socket-operation timeout for remote evaluations. Generous: a
+/// slow evaluation must not be misread as a dead worker, while a dead
+/// worker fails fast anyway (connection refused is immediate).
+const REMOTE_TIMEOUT: Duration = Duration::from_secs(60);
+
 /// Run `algorithms` on every (dataset, model) pair, fanned across cells
 /// through the core worker pool; each search is single-threaded (paper:
 /// `n_jobs = 1`).
+///
+/// With `config.remote_addrs` non-empty, every evaluator is a
+/// [`RemoteEvaluator`] sharding requests over the `evald` fleet;
+/// workers regenerate the named dataset at the same effective scale, so
+/// results are bit-identical to an in-process run (pinned by
+/// `tests/distributed.rs`).
 pub fn run_matrix(
     specs: &[DatasetSpec],
     models: &[ModelKind],
     algorithms: &[AlgName],
     config: &HarnessConfig,
 ) -> MatrixOutcome {
-    run_matrix_with(specs, models, algorithms, config, |d, c| Box::new(Evaluator::new(d, c)))
+    if config.remote_addrs.is_empty() {
+        run_matrix_with(specs, models, algorithms, config, |d, c| Box::new(Evaluator::new(d, c)))
+    } else {
+        let addrs = config.remote_addrs.clone();
+        run_matrix_with(specs, models, algorithms, config, move |d, c| {
+            let spec = spec_by_name(&d.name)
+                .unwrap_or_else(|| panic!("remote mode needs registry dataset, got `{}`", d.name));
+            let ctx = EvalContext {
+                dataset: d.name.clone(),
+                scale: config.effective_scale(&spec),
+                model: c.model,
+                train_fraction: c.train_fraction,
+                seed: c.seed,
+                train_subsample: c.train_subsample.map(|v| v as u64),
+            };
+            let backend = TcpBackend::new(addrs.clone(), ctx, REMOTE_TIMEOUT);
+            Box::new(RemoteEvaluator::new(Box::new(backend), c))
+        })
+    }
+}
+
+/// Locate the `evald` worker binary: the `EVALD_BIN` environment
+/// variable when set, else a sibling of the current executable (all
+/// workspace binaries land in the same target directory).
+pub fn evald_binary() -> std::path::PathBuf {
+    if let Ok(path) = std::env::var("EVALD_BIN") {
+        return path.into();
+    }
+    let exe = std::env::current_exe().unwrap_or_default();
+    let dir = exe.parent().unwrap_or_else(|| std::path::Path::new("."));
+    dir.join(format!("evald{}", std::env::consts::EXE_SUFFIX))
+}
+
+/// Spawn `n` local `evald` workers (see [`evald_binary`]) for a
+/// `--workers N` run. The fleet kills its children on drop; keep it
+/// alive for the whole matrix run.
+pub fn spawn_local_workers(n: usize) -> std::io::Result<WorkerFleet> {
+    WorkerFleet::spawn(&evald_binary(), n)
 }
 
 /// [`run_matrix`] with a custom evaluator factory: `make_eval` builds
@@ -411,6 +504,51 @@ pub fn f2(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_slice_parses_remote_and_worker_flags() {
+        let cfg = HarnessConfig::from_arg_slice(&argv(&[
+            "--remote",
+            "127.0.0.1:4000,127.0.0.1:4001",
+            "--workers",
+            "2",
+            "--cache-cap",
+            "64",
+        ]));
+        assert_eq!(cfg.remote_addrs, vec!["127.0.0.1:4000", "127.0.0.1:4001"]);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.cache_capacity, Some(64));
+        assert_eq!(cfg.cache_mode, CacheMode::Shared, "nonzero cap keeps caching on");
+    }
+
+    #[test]
+    fn cache_cap_zero_downgrades_shared_cache_to_off() {
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--cache-cap", "0", "--cache", "shared"]));
+        assert_eq!(cfg.cache_capacity, Some(0));
+        assert_eq!(cfg.cache_mode, CacheMode::Off);
+        // Per-cell caching is downgraded the same way...
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--cache", "per-cell", "--cache-cap", "0"]));
+        assert_eq!(cfg.cache_mode, CacheMode::Off);
+        // ...and an explicit `--cache off` with cap 0 is already consistent.
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--cache", "off", "--cache-cap", "0"]));
+        assert_eq!(cfg.cache_mode, CacheMode::Off);
+    }
+
+    #[test]
+    fn effective_scale_matches_generate() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.01;
+        cfg.min_rows = 150;
+        cfg.max_rows = 500;
+        for spec in cfg.specs() {
+            let scale = cfg.effective_scale(&spec);
+            assert_eq!(cfg.generate(&spec).n_rows(), spec.generate(scale).n_rows(), "{}", spec.name);
+        }
+    }
 
     #[test]
     fn default_config_is_sane() {

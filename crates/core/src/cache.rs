@@ -21,10 +21,11 @@
 //!
 //! Failed evaluations are memoizable too — a pipeline that produces
 //! non-finite output does so deterministically, so its worst-error
-//! trial is as reusable as a real score. The one exception is
-//! [`crate::FailureKind::Deadline`]: running out of wall-clock is a
-//! property of the run, not the pipeline, so deadline failures are
-//! never stored.
+//! trial is as reusable as a real score. The exceptions are
+//! [`crate::FailureKind::Deadline`] and [`crate::FailureKind::Transport`]:
+//! running out of wall-clock, or losing the worker that would have
+//! evaluated the pipeline, is a property of the run, not the pipeline,
+//! so neither is ever stored.
 //!
 //! ```
 //! use autofp_core::{EvalCache, EvalConfig, Evaluator};
@@ -277,10 +278,11 @@ impl EvalCache {
     ///
     /// Deterministic failures (non-finite, degenerate, diverged,
     /// panic) are cached like successes — re-proposing the pipeline
-    /// would fail identically. Deadline failures are circumstantial
-    /// and are *not* stored.
+    /// would fail identically. Deadline and transport failures are
+    /// circumstantial and are *not* stored (a worker coming back up
+    /// must not be masked by a memoized worst-error trial).
     pub fn insert(&self, key: &CacheKey, trial: &Trial) {
-        if trial.failure == Some(FailureKind::Deadline) {
+        if matches!(trial.failure, Some(FailureKind::Deadline) | Some(FailureKind::Transport)) {
             return;
         }
         let mut evicted = 0u64;
@@ -606,16 +608,66 @@ mod tests {
     }
 
     #[test]
-    fn deadline_failures_are_never_cached() {
+    fn deadline_and_transport_failures_are_never_cached() {
         use crate::error::FailureKind;
         let cache = EvalCache::new();
         let p = Pipeline::from_kinds(&[PreprocKind::Binarizer]);
         let key = key_for(PreprocKind::Binarizer);
         cache.insert(&key, &Trial::failed(p.clone(), FailureKind::Deadline, 1.0));
         assert!(cache.is_empty());
+        // A dead worker is a property of the run, not the pipeline:
+        // memoizing its worst-error trial would poison later runs.
+        cache.insert(&key, &Trial::failed(p.clone(), FailureKind::Transport, 1.0));
+        assert!(cache.is_empty());
         // Deterministic failures are memoized like successes.
         cache.insert(&key, &Trial::failed(p, FailureKind::Panic, 1.0));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.lookup(&key).unwrap().failure, Some(FailureKind::Panic));
+    }
+
+    /// The wire protocol (`autofp-evald`) and shard routing
+    /// (`RemoteEvaluator`) both assume `fingerprint` never changes
+    /// across refactors: a silent hash change would re-shard every
+    /// pipeline and invalidate any persisted evaluation repository.
+    /// These constants were computed once from the canonical strings
+    /// below; if this test fails, the hash (or the canonical form) has
+    /// changed and every consumer of the fingerprint must migrate.
+    #[test]
+    fn golden_fingerprints_are_locked() {
+        let config = EvalConfig::default();
+        let cases: [(Pipeline, f64, u64); 4] = [
+            (Pipeline::empty(), 1.0, 0xceb94a6360fd8b3e),
+            (
+                Pipeline::from_kinds(&[PreprocKind::StandardScaler]),
+                1.0,
+                0xca6dfeff7dbeff12,
+            ),
+            (
+                Pipeline::from_kinds(&[PreprocKind::MinMaxScaler, PreprocKind::Normalizer]),
+                0.25,
+                0x67ab45321710d1d3,
+            ),
+            (
+                Pipeline::new(vec![Preproc::Binarizer { threshold: 0.5 }]),
+                1.0,
+                0xef8b7b4497d1cc8f,
+            ),
+        ];
+        for (pipeline, fraction, expected) in cases {
+            let key = CacheKey::new(&pipeline, fraction, &config);
+            assert_eq!(
+                key.fingerprint(),
+                expected,
+                "fingerprint drifted for `{}` @ {fraction} (canonical `{}`)",
+                pipeline.key(),
+                key.canonical(),
+            );
+        }
+        // And the seed dimension: a different config must move the hash.
+        let other = EvalConfig { seed: 99, ..EvalConfig::default() };
+        assert_eq!(
+            CacheKey::new(&Pipeline::empty(), 1.0, &other).fingerprint(),
+            0x06e1e5f30a337fd8,
+        );
     }
 }

@@ -52,6 +52,15 @@ pub enum EvalError {
     /// evaluation. Unlike the other kinds this is circumstantial, so
     /// it is never cached.
     DeadlineExceeded,
+    /// A remote evaluation could not be completed: the worker died,
+    /// the connection timed out, or a wire frame was malformed. Like
+    /// [`EvalError::DeadlineExceeded`] this is circumstantial (the
+    /// pipeline itself is fine), so it is never cached; unlike every
+    /// other kind it is retryable.
+    Transport {
+        /// What failed at the transport layer.
+        detail: String,
+    },
 }
 
 impl EvalError {
@@ -63,6 +72,7 @@ impl EvalError {
             EvalError::TrainerDiverged { .. } => FailureKind::Diverged,
             EvalError::Panic { .. } => FailureKind::Panic,
             EvalError::DeadlineExceeded => FailureKind::Deadline,
+            EvalError::Transport { .. } => FailureKind::Transport,
         }
     }
 }
@@ -81,6 +91,7 @@ impl std::fmt::Display for EvalError {
             }
             EvalError::Panic { message } => write!(f, "evaluation panicked: {message}"),
             EvalError::DeadlineExceeded => write!(f, "wall-clock budget deadline exceeded"),
+            EvalError::Transport { detail } => write!(f, "transport failure: {detail}"),
         }
     }
 }
@@ -101,16 +112,20 @@ pub enum FailureKind {
     Panic,
     /// The wall-clock deadline passed.
     Deadline,
+    /// A remote evaluation failed at the transport layer (dead worker,
+    /// timeout, malformed frame).
+    Transport,
 }
 
 impl FailureKind {
     /// All kinds, in reporting order.
-    pub const ALL: [FailureKind; 5] = [
+    pub const ALL: [FailureKind; 6] = [
         FailureKind::NonFinite,
         FailureKind::Degenerate,
         FailureKind::Diverged,
         FailureKind::Panic,
         FailureKind::Deadline,
+        FailureKind::Transport,
     ];
 
     /// Stable short name used in reports and stats tables.
@@ -121,6 +136,7 @@ impl FailureKind {
             FailureKind::Diverged => "diverged",
             FailureKind::Panic => "panic",
             FailureKind::Deadline => "deadline",
+            FailureKind::Transport => "transport",
         }
     }
 
@@ -131,6 +147,7 @@ impl FailureKind {
             FailureKind::Diverged => 2,
             FailureKind::Panic => 3,
             FailureKind::Deadline => 4,
+            FailureKind::Transport => 5,
         }
     }
 }
@@ -194,7 +211,7 @@ mod tests {
 
     #[test]
     fn kind_matches_variant() {
-        let cases: [(EvalError, FailureKind); 5] = [
+        let cases: [(EvalError, FailureKind); 6] = [
             (
                 EvalError::NonFiniteTransform { detail: "x".into() },
                 FailureKind::NonFinite,
@@ -209,6 +226,10 @@ mod tests {
             ),
             (EvalError::Panic { message: "x".into() }, FailureKind::Panic),
             (EvalError::DeadlineExceeded, FailureKind::Deadline),
+            (
+                EvalError::Transport { detail: "x".into() },
+                FailureKind::Transport,
+            ),
         ];
         for (err, kind) in cases {
             assert_eq!(err.kind(), kind);

@@ -6,7 +6,11 @@ use autofp_preprocess::Pipeline;
 use std::time::Duration;
 
 /// One evaluated pipeline (one iteration of Algorithm 1's Step 4).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares floats by value (the wire layer's round-trip
+/// tests rely on field-for-field equality; all recorded floats are
+/// finite in practice).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trial {
     /// The evaluated pipeline.
     pub pipeline: Pipeline,

@@ -21,9 +21,15 @@
 //!   across a worker pool, and [`cache::EvalCache`] memoizes trials by
 //!   a stable pipeline fingerprint — together they attack the paper's
 //!   §5 finding that evaluation dominates search time.
+//! * [`remote::RemoteEvaluator`] extends [`evaluator::Evaluate`] across
+//!   process boundaries: requests shard over a worker fleet by the
+//!   stable [`cache::CacheKey`] fingerprint, transport faults retry
+//!   with bounded backoff and then degrade to worst-error trials (the
+//!   `autofp-evald` crate provides the worker daemon and wire
+//!   protocol).
 //! * Evaluation is fault-tolerant end to end: [`error::EvalError`]
 //!   classifies failures (non-finite transforms, degenerate matrices,
-//!   trainer divergence, panics, deadline overruns), the
+//!   trainer divergence, panics, deadline overruns, transport faults), the
 //!   [`evaluator::Evaluate`] trait shields every call with
 //!   `catch_unwind`, failed pipelines become worst-error trials
 //!   (error = 1.0, Eq. 2) so searches keep running deterministically,
@@ -40,6 +46,7 @@ pub mod framework;
 pub mod history;
 pub mod order;
 pub mod patterns;
+pub mod remote;
 pub mod report;
 pub mod ranking;
 
@@ -54,3 +61,4 @@ pub use framework::{
 };
 pub use history::{PhaseBreakdown, Trial, TrialHistory};
 pub use order::{nan_largest, nan_smallest};
+pub use remote::{shard, RemoteBackend, RemoteEvaluator, RemoteInfo, RetryPolicy};

@@ -1,0 +1,357 @@
+//! Sharded remote evaluation: the client half of the evaluation
+//! service (the server half lives in the `autofp-evald` crate).
+//!
+//! [`RemoteEvaluator`] implements [`Evaluate`] over a fleet of worker
+//! processes reached through a [`RemoteBackend`]. Each request is
+//! routed to worker `CacheKey::fingerprint % N` — the same stable
+//! FNV-1a fingerprint the [`crate::EvalCache`] keys on — so one
+//! pipeline always lands on one worker, and that worker's process-local
+//! cache converges to the shard of the evaluation space it owns.
+//!
+//! # Failure conversion
+//!
+//! Transport faults (a dead worker, a timeout, a corrupt frame) are
+//! retried with bounded exponential backoff; when the retries are
+//! exhausted the error surfaces as [`EvalError::Transport`], which the
+//! search framework converts into the established worst-error-trial
+//! convention (accuracy 0, error 1, tagged
+//! [`crate::FailureKind::Transport`]). Searches therefore run their
+//! budgets to completion deterministically even with a worker down:
+//! routing is a pure function of the pipeline, so the same requests
+//! fail the same way on every rerun. Transport failures are never
+//! cached (see [`crate::EvalCache::insert`]) — a worker coming back
+//! must not be masked by a memoized worst-error trial.
+//!
+//! This module is transport-agnostic by design: `autofp-evald` provides
+//! the TCP and in-process loopback backends, keeping `autofp-core` free
+//! of any wire-format knowledge (and of a dependency cycle).
+
+use crate::cache::CacheKey;
+use crate::error::EvalError;
+use crate::evaluator::{EvalConfig, Evaluate};
+use crate::history::Trial;
+use autofp_models::CancelToken;
+use autofp_preprocess::Pipeline;
+use std::time::Duration;
+
+/// What a worker reports about the evaluation context it serves:
+/// the dataset/model facts an [`Evaluate`] implementation must answer
+/// locally.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteInfo {
+    /// Validation accuracy with no preprocessing (the no-FP baseline).
+    pub baseline_accuracy: f64,
+    /// Number of training rows the worker's evaluator fits on.
+    pub train_rows: usize,
+}
+
+/// Transport abstraction the [`RemoteEvaluator`] shards over.
+///
+/// A backend owns the addressing and wire concerns for `workers()`
+/// interchangeable workers; the evaluator only decides *which* worker
+/// index handles a request. Implementations map every transport-layer
+/// fault to [`EvalError::Transport`] (the only retryable kind) and
+/// must be deterministic for a fixed fleet state: the same request to
+/// the same live worker returns the same trial bits.
+pub trait RemoteBackend: Send + Sync {
+    /// Number of workers in the fleet (fixed for the backend's life).
+    fn workers(&self) -> usize;
+
+    /// Evaluate `pipeline` at training-budget `fraction` on `worker`.
+    fn evaluate(&self, worker: usize, pipeline: &Pipeline, fraction: f64)
+        -> Result<Trial, EvalError>;
+
+    /// Ask `worker` for the context facts (baseline, train rows).
+    fn describe(&self, worker: usize) -> Result<RemoteInfo, EvalError>;
+}
+
+/// Bounded retry-with-backoff policy for transport faults.
+///
+/// Only [`EvalError::Transport`] is retried — every other failure kind
+/// is a deterministic property of the pipeline and retrying it would
+/// just repeat the failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included); minimum 1.
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles after each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy { attempts: 3, backoff: Duration::from_millis(10) }
+    }
+}
+
+/// An [`Evaluate`] implementation that forwards every request to a
+/// sharded fleet of remote workers.
+///
+/// Construction never fails: if no worker answers `describe`, the
+/// baseline falls back to `0.0` / `0` rows and every evaluation will
+/// surface as a worst-error transport trial — the search still runs
+/// its budget to completion.
+pub struct RemoteEvaluator {
+    backend: Box<dyn RemoteBackend>,
+    config: EvalConfig,
+    retry: RetryPolicy,
+    info: RemoteInfo,
+}
+
+impl RemoteEvaluator {
+    /// Build over `backend` with the default [`RetryPolicy`].
+    pub fn new(backend: Box<dyn RemoteBackend>, config: EvalConfig) -> RemoteEvaluator {
+        Self::with_retry(backend, config, RetryPolicy::default())
+    }
+
+    /// Build over `backend` with an explicit retry policy.
+    ///
+    /// `describe` is asked of each worker in index order until one
+    /// answers; a fully dead fleet degrades to a zero baseline rather
+    /// than failing construction.
+    pub fn with_retry(
+        backend: Box<dyn RemoteBackend>,
+        config: EvalConfig,
+        retry: RetryPolicy,
+    ) -> RemoteEvaluator {
+        let mut info = RemoteInfo { baseline_accuracy: 0.0, train_rows: 0 };
+        for worker in 0..backend.workers() {
+            if let Ok(described) = backend.describe(worker) {
+                info = described;
+                break;
+            }
+        }
+        RemoteEvaluator { backend, config, retry, info }
+    }
+
+    /// The worker index `pipeline` @ `fraction` routes to:
+    /// `CacheKey::fingerprint % workers`.
+    pub fn shard_of(&self, pipeline: &Pipeline, fraction: f64) -> usize {
+        let key = CacheKey::new(pipeline, fraction, &self.config);
+        shard(key.fingerprint(), self.backend.workers())
+    }
+}
+
+/// Pure shard routing: `fingerprint % workers` (worker 0 for an empty
+/// fleet, so callers need no special case).
+pub fn shard(fingerprint: u64, workers: usize) -> usize {
+    if workers == 0 {
+        0
+    } else {
+        (fingerprint % workers as u64) as usize
+    }
+}
+
+impl Evaluate for RemoteEvaluator {
+    fn evaluate_raw(
+        &self,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        let worker = self.shard_of(pipeline, fraction);
+        let mut delay = self.retry.backoff;
+        let mut last = EvalError::Transport { detail: "no attempt made".to_string() };
+        for attempt in 0..self.retry.attempts.max(1) {
+            if cancel.is_cancelled() {
+                return Err(EvalError::DeadlineExceeded);
+            }
+            match self.backend.evaluate(worker, pipeline, fraction) {
+                Ok(trial) => return Ok(trial),
+                Err(err @ EvalError::Transport { .. }) => {
+                    last = err;
+                    if attempt + 1 < self.retry.attempts.max(1) {
+                        std::thread::sleep(delay);
+                        delay = delay.saturating_mul(2);
+                    }
+                }
+                // Every other kind is a deterministic verdict about the
+                // pipeline; pass it through untouched.
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last)
+    }
+
+    fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    fn baseline_accuracy(&self) -> f64 {
+        self.info.baseline_accuracy
+    }
+
+    fn train_rows(&self) -> usize {
+        self.info.train_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FailureKind;
+    use crate::evaluator::evaluate_or_worst;
+    use autofp_preprocess::PreprocKind;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    /// A backend that answers from a table and records which worker
+    /// each request hit.
+    struct MockBackend {
+        workers: usize,
+        dead: Vec<usize>,
+        calls: Mutex<Vec<usize>>,
+        attempts: AtomicU64,
+    }
+
+    impl MockBackend {
+        fn new(workers: usize, dead: Vec<usize>) -> MockBackend {
+            MockBackend { workers, dead, calls: Mutex::new(Vec::new()), attempts: AtomicU64::new(0) }
+        }
+    }
+
+    impl RemoteBackend for MockBackend {
+        fn workers(&self) -> usize {
+            self.workers
+        }
+
+        fn evaluate(
+            &self,
+            worker: usize,
+            pipeline: &Pipeline,
+            fraction: f64,
+        ) -> Result<Trial, EvalError> {
+            self.attempts.fetch_add(1, Ordering::Relaxed);
+            self.calls.lock().unwrap().push(worker);
+            if self.dead.contains(&worker) {
+                return Err(EvalError::Transport { detail: format!("worker {worker} is down") });
+            }
+            Ok(Trial {
+                pipeline: pipeline.clone(),
+                accuracy: 0.5 + worker as f64 / 100.0,
+                error: 0.5 - worker as f64 / 100.0,
+                prep_time: Duration::ZERO,
+                train_time: Duration::ZERO,
+                train_fraction: fraction,
+                failure: None,
+            })
+        }
+
+        fn describe(&self, worker: usize) -> Result<RemoteInfo, EvalError> {
+            if self.dead.contains(&worker) {
+                return Err(EvalError::Transport { detail: format!("worker {worker} is down") });
+            }
+            Ok(RemoteInfo { baseline_accuracy: 0.61, train_rows: 80 + worker })
+        }
+    }
+
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy { attempts: 3, backoff: Duration::from_millis(0) }
+    }
+
+    #[test]
+    fn routing_is_fingerprint_mod_workers() {
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(MockBackend::new(4, vec![])),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        for kind in PreprocKind::ALL {
+            let p = Pipeline::from_kinds(&[kind]);
+            let key = CacheKey::new(&p, 1.0, &EvalConfig::default());
+            assert_eq!(ev.shard_of(&p, 1.0), (key.fingerprint() % 4) as usize);
+            // And the trial actually comes from that worker.
+            let t = ev.try_evaluate(&p).expect("live worker");
+            let expect = 0.5 + ev.shard_of(&p, 1.0) as f64 / 100.0;
+            assert_eq!(t.accuracy.to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn describe_falls_back_across_workers_and_dead_fleet_degrades() {
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(MockBackend::new(3, vec![0, 1])),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        // Worker 2 answered describe.
+        assert_eq!(ev.baseline_accuracy(), 0.61);
+        assert_eq!(ev.train_rows(), 82);
+
+        let dead = RemoteEvaluator::with_retry(
+            Box::new(MockBackend::new(2, vec![0, 1])),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        assert_eq!(dead.baseline_accuracy(), 0.0);
+        assert_eq!(dead.train_rows(), 0);
+    }
+
+    #[test]
+    fn transport_faults_retry_then_surface_as_worst_error() {
+        let backend = Box::new(MockBackend::new(1, vec![0]));
+        let ev = RemoteEvaluator::with_retry(backend, EvalConfig::default(), fast_retry());
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let err = ev.try_evaluate(&p).unwrap_err();
+        assert!(matches!(err, EvalError::Transport { .. }));
+        let t = evaluate_or_worst(&ev, &p, 1.0, &CancelToken::new());
+        assert_eq!(t.error, 1.0);
+        assert_eq!(t.failure, Some(FailureKind::Transport));
+    }
+
+    #[test]
+    fn retries_are_bounded_and_only_for_transport() {
+        struct CountThenDiverge(std::sync::Arc<AtomicU64>);
+        impl RemoteBackend for CountThenDiverge {
+            fn workers(&self) -> usize {
+                1
+            }
+            fn evaluate(&self, _: usize, _: &Pipeline, _: f64) -> Result<Trial, EvalError> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Err(EvalError::TrainerDiverged { detail: "nan".into() })
+            }
+            fn describe(&self, _: usize) -> Result<RemoteInfo, EvalError> {
+                Ok(RemoteInfo { baseline_accuracy: 0.5, train_rows: 1 })
+            }
+        }
+        // Non-transport errors pass through on the first attempt.
+        let calls = std::sync::Arc::new(AtomicU64::new(0));
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(CountThenDiverge(calls.clone())),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        let err = ev.try_evaluate(&Pipeline::empty()).unwrap_err();
+        assert!(matches!(err, EvalError::TrainerDiverged { .. }));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "non-transport errors must not retry");
+
+        // Transport errors retry exactly `attempts` times.
+        let dead = MockBackend::new(1, vec![0]);
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(dead),
+            EvalConfig::default(),
+            RetryPolicy { attempts: 4, backoff: Duration::from_millis(0) },
+        );
+        assert!(ev.try_evaluate(&Pipeline::empty()).is_err());
+    }
+
+    #[test]
+    fn cancelled_token_short_circuits_to_deadline() {
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(MockBackend::new(1, vec![])),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let err = ev.try_evaluate_cancellable(&Pipeline::empty(), 1.0, &cancel).unwrap_err();
+        assert_eq!(err, EvalError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn shard_handles_empty_fleet() {
+        assert_eq!(shard(12345, 0), 0);
+        assert_eq!(shard(12345, 1), 0);
+        assert_eq!(shard(7, 3), 1);
+    }
+}

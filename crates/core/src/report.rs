@@ -106,6 +106,7 @@ pub fn cache_stats_markdown(stats: &CacheStats) -> String {
     let _ = writeln!(out, "| misses | {} |", stats.misses);
     let _ = writeln!(out, "| hit rate | {:.1}% |", stats.hit_rate() * 100.0);
     let _ = writeln!(out, "| entries | {} |", stats.entries);
+    let _ = writeln!(out, "| evictions | {} |", stats.evictions);
     let _ = writeln!(out, "| eval time saved | {:.3} s |", stats.saved.as_secs_f64());
     out
 }
@@ -255,6 +256,7 @@ mod tests {
         let md = cache_stats_markdown(&stats);
         assert!(md.contains("| lookups | 6 |"));
         assert!(md.contains("hit rate"));
+        assert!(md.contains("| evictions | 0 |"), "eviction count must be observable");
         let summary = summary_markdown(&out, ev.baseline_accuracy());
         assert!(summary.contains("| cache |"));
     }

@@ -1,0 +1,179 @@
+//! The `evald` binary's command surface.
+//!
+//! * `evald serve [--port P] [--cache-cap N]` — run a worker daemon on
+//!   `127.0.0.1` (port 0 = OS-assigned) and print
+//!   `evald listening on <addr>` once bound, which supervisors parse.
+//! * `evald ping <addr>` / `evald stats <addr>` / `evald shutdown
+//!   <addr>` — operator utilities against a running worker.
+
+use crate::client;
+use crate::launch::READY_PREFIX;
+use crate::server::Server;
+use crate::service::WorkerService;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: evald <command>
+
+commands:
+  serve [--port P] [--cache-cap N]   run a worker daemon (port 0 = OS-assigned;
+                                     cache-cap bounds each context's LRU cache)
+  ping <addr>                        check a worker is alive
+  stats <addr>                       print a worker's cumulative counters
+  shutdown <addr>                    ask a worker to exit
+";
+
+const RPC_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Run the CLI on `args` (binary name already stripped); returns the
+/// process exit code.
+pub fn run(args: Vec<String>) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("ping") => rpc(&args[1..], "ping", |addr| {
+            client::ping(addr, RPC_TIMEOUT)?;
+            println!("{addr}: alive");
+            Ok(())
+        }),
+        Some("stats") => rpc(&args[1..], "stats", |addr| {
+            let s = client::stats(addr, RPC_TIMEOUT)?;
+            println!(
+                "{addr}: served={} contexts={} hits={} misses={} entries={} evictions={} saved={:?}",
+                s.served,
+                s.contexts,
+                s.hits,
+                s.misses,
+                s.entries,
+                s.evictions,
+                Duration::from_nanos(s.saved_nanos),
+            );
+            Ok(())
+        }),
+        Some("shutdown") => rpc(&args[1..], "shutdown", |addr| {
+            client::shutdown(addr, RPC_TIMEOUT)?;
+            println!("{addr}: shutting down");
+            Ok(())
+        }),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("evald: unknown command `{other}`\n{USAGE}");
+            2
+        }
+        None => {
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+fn serve(args: &[String]) -> i32 {
+    let mut port: u16 = 0;
+    let mut cache_cap: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => match it.next().map(|v| v.parse::<u16>()) {
+                Some(Ok(p)) => port = p,
+                _ => {
+                    eprintln!("evald: --port needs an integer in 0..=65535");
+                    return 2;
+                }
+            },
+            "--cache-cap" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) => cache_cap = Some(n),
+                _ => {
+                    eprintln!("evald: --cache-cap needs a non-negative integer");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("evald: unknown serve flag `{other}`\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let service = Arc::new(WorkerService::with_cache_capacity(cache_cap));
+    let server = match Server::bind(("127.0.0.1", port), service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("evald: bind 127.0.0.1:{port}: {e}");
+            return 1;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("evald: local_addr: {e}");
+            return 1;
+        }
+    };
+    // Supervisors block on this exact line; flush so a piped stdout
+    // delivers it before the first request arrives.
+    println!("{READY_PREFIX}{addr}");
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("evald: serve: {e}");
+            1
+        }
+    }
+}
+
+fn rpc(
+    args: &[String],
+    name: &str,
+    f: impl Fn(&str) -> Result<(), autofp_core::EvalError>,
+) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("evald: {name} needs a worker address\n{USAGE}");
+        return 2;
+    };
+    match f(addr) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("evald: {name} {addr}: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_and_missing_args_exit_nonzero() {
+        assert_eq!(run(argv(&["frobnicate"])), 2);
+        assert_eq!(run(argv(&[])), 2);
+        assert_eq!(run(argv(&["ping"])), 2);
+        assert_eq!(run(argv(&["serve", "--port", "notanumber"])), 2);
+        assert_eq!(run(argv(&["serve", "--cache-cap"])), 2);
+        assert_eq!(run(argv(&["serve", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn help_exits_zero() {
+        assert_eq!(run(argv(&["--help"])), 0);
+        assert_eq!(run(argv(&["help"])), 0);
+    }
+
+    #[test]
+    fn rpc_against_a_dead_address_exits_one() {
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        // Quick failure: connect to a closed port is immediate on loopback.
+        assert_eq!(run(argv(&["ping", &addr])), 1);
+    }
+}

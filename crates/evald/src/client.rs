@@ -1,0 +1,295 @@
+//! Client-side transports implementing [`autofp_core::RemoteBackend`].
+//!
+//! [`TcpBackend`] talks to real worker daemons (connect-per-request,
+//! hard timeouts on every socket operation, all I/O failures mapped to
+//! [`EvalError::Transport`] so core's retry/worst-error policy
+//! applies). [`LoopbackBackend`] runs the same request against
+//! in-process [`WorkerService`]s while still round-tripping every byte
+//! through [`crate::wire`] — tests get full protocol coverage without
+//! sockets or child processes.
+
+use crate::service::WorkerService;
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, EvalContext, Request, Response,
+    WorkerStats,
+};
+use autofp_core::{EvalError, RemoteBackend, RemoteInfo, Trial};
+use autofp_preprocess::Pipeline;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn transport(detail: impl Into<String>) -> EvalError {
+    EvalError::Transport { detail: detail.into() }
+}
+
+/// Resolve `addr` to a socket address, mapping failures to transport
+/// errors.
+fn resolve(addr: &str) -> Result<SocketAddr, EvalError> {
+    addr.to_socket_addrs()
+        .map_err(|e| transport(format!("resolve `{addr}`: {e}")))?
+        .next()
+        .ok_or_else(|| transport(format!("`{addr}` resolved to no addresses")))
+}
+
+/// Send one request to `addr` and wait for the single response frame.
+fn call(addr: &str, timeout: Duration, req: &Request) -> Result<Response, EvalError> {
+    let sock = resolve(addr)?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| transport(format!("connect `{addr}`: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| transport(format!("set timeouts on `{addr}`: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    write_frame(&mut stream, &encode_request(req))?;
+    let payload = read_frame(&mut stream)?
+        .ok_or_else(|| transport(format!("`{addr}` closed without answering")))?;
+    decode_response(&payload)
+}
+
+fn trial_from(resp: Response, addr: &str) -> Result<Trial, EvalError> {
+    match resp {
+        Response::Trial { trial, .. } => Ok(trial),
+        Response::Error(err) => Err(err),
+        other => Err(transport(format!("`{addr}` answered Eval with {other:?}"))),
+    }
+}
+
+fn info_from(resp: Response, addr: &str) -> Result<RemoteInfo, EvalError> {
+    match resp {
+        Response::Described { baseline_accuracy, train_rows } => Ok(RemoteInfo {
+            baseline_accuracy,
+            train_rows: usize::try_from(train_rows).unwrap_or(usize::MAX),
+        }),
+        Response::Error(err) => Err(err),
+        other => Err(transport(format!("`{addr}` answered Describe with {other:?}"))),
+    }
+}
+
+/// [`RemoteBackend`] over TCP: one worker daemon per address, one
+/// connection per request.
+///
+/// Connect-per-request keeps the failure model simple (a dead worker is
+/// a connection error on exactly the requests routed to it, never a
+/// wedged persistent stream) at a per-request cost that is negligible
+/// next to an evaluation.
+pub struct TcpBackend {
+    addrs: Vec<String>,
+    ctx: EvalContext,
+    timeout: Duration,
+}
+
+impl TcpBackend {
+    /// A backend sharding over `addrs` (one worker daemon each),
+    /// evaluating under `ctx`, with `timeout` applied to connect, read
+    /// and write individually.
+    pub fn new(addrs: Vec<String>, ctx: EvalContext, timeout: Duration) -> TcpBackend {
+        TcpBackend { addrs, ctx, timeout }
+    }
+}
+
+impl RemoteBackend for TcpBackend {
+    fn workers(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn evaluate(&self, worker: usize, pipeline: &Pipeline, fraction: f64) -> Result<Trial, EvalError> {
+        let addr = self
+            .addrs
+            .get(worker)
+            .ok_or_else(|| transport(format!("no worker {worker}")))?;
+        let req = Request::Eval { ctx: self.ctx.clone(), pipeline: pipeline.clone(), fraction };
+        trial_from(call(addr, self.timeout, &req)?, addr)
+    }
+
+    fn describe(&self, worker: usize) -> Result<RemoteInfo, EvalError> {
+        let addr = self
+            .addrs
+            .get(worker)
+            .ok_or_else(|| transport(format!("no worker {worker}")))?;
+        info_from(call(addr, self.timeout, &Request::Describe(self.ctx.clone()))?, addr)
+    }
+}
+
+/// [`RemoteBackend`] over in-process services: every request is still
+/// encoded, framed, decoded, handled, re-encoded and re-decoded, so a
+/// loopback run exercises the exact byte path of a TCP run.
+pub struct LoopbackBackend {
+    workers: Vec<Arc<WorkerService>>,
+    ctx: EvalContext,
+}
+
+impl LoopbackBackend {
+    /// A backend sharding over in-process `workers` under `ctx`.
+    pub fn new(workers: Vec<Arc<WorkerService>>, ctx: EvalContext) -> LoopbackBackend {
+        LoopbackBackend { workers, ctx }
+    }
+
+    fn call(&self, worker: usize, req: &Request) -> Result<Response, EvalError> {
+        let service = self
+            .workers
+            .get(worker)
+            .ok_or_else(|| transport(format!("no worker {worker}")))?;
+        // Full wire round-trip in memory.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &encode_request(req))?;
+        let mut r = &frame[..];
+        let payload =
+            read_frame(&mut r)?.ok_or_else(|| transport("loopback produced no frame"))?;
+        let resp = service.handle(&crate::wire::decode_request(&payload)?);
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &crate::wire::encode_response(&resp))?;
+        let mut r = &frame[..];
+        let payload =
+            read_frame(&mut r)?.ok_or_else(|| transport("loopback produced no response"))?;
+        decode_response(&payload)
+    }
+}
+
+impl RemoteBackend for LoopbackBackend {
+    fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn evaluate(&self, worker: usize, pipeline: &Pipeline, fraction: f64) -> Result<Trial, EvalError> {
+        let req = Request::Eval { ctx: self.ctx.clone(), pipeline: pipeline.clone(), fraction };
+        trial_from(self.call(worker, &req)?, "loopback")
+    }
+
+    fn describe(&self, worker: usize) -> Result<RemoteInfo, EvalError> {
+        info_from(self.call(worker, &Request::Describe(self.ctx.clone()))?, "loopback")
+    }
+}
+
+/// Ping the worker at `addr`; `Ok` means it answered `Pong` in time.
+pub fn ping(addr: &str, timeout: Duration) -> Result<(), EvalError> {
+    match call(addr, timeout, &Request::Ping)? {
+        Response::Pong => Ok(()),
+        other => Err(transport(format!("`{addr}` answered Ping with {other:?}"))),
+    }
+}
+
+/// Fetch the worker's cumulative [`WorkerStats`].
+pub fn stats(addr: &str, timeout: Duration) -> Result<WorkerStats, EvalError> {
+    match call(addr, timeout, &Request::Stats)? {
+        Response::Stats(s) => Ok(s),
+        other => Err(transport(format!("`{addr}` answered Stats with {other:?}"))),
+    }
+}
+
+/// Ask the worker at `addr` to exit.
+pub fn shutdown(addr: &str, timeout: Duration) -> Result<(), EvalError> {
+    match call(addr, timeout, &Request::Shutdown)? {
+        Response::Pong => Ok(()),
+        other => Err(transport(format!("`{addr}` answered Shutdown with {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::Server;
+    use autofp_core::{Evaluate, Evaluator, RemoteEvaluator};
+    use autofp_data::spec_by_name;
+    use autofp_models::classifier::ModelKind;
+    use autofp_preprocess::PreprocKind;
+
+    fn ctx() -> EvalContext {
+        EvalContext {
+            dataset: "blood".to_string(),
+            scale: 0.2,
+            model: ModelKind::Lr,
+            train_fraction: 0.8,
+            seed: 3,
+            train_subsample: None,
+        }
+    }
+
+    fn local_evaluator() -> Evaluator {
+        let spec = spec_by_name("blood").expect("blood in registry");
+        Evaluator::new(&spec.generate(0.2), ctx().eval_config())
+    }
+
+    #[test]
+    fn loopback_matches_local_evaluation_bit_exactly() {
+        let backend = LoopbackBackend::new(
+            vec![Arc::new(WorkerService::new()), Arc::new(WorkerService::new())],
+            ctx(),
+        );
+        let remote = RemoteEvaluator::new(Box::new(backend), ctx().eval_config());
+        let local = local_evaluator();
+        assert_eq!(remote.baseline_accuracy().to_bits(), local.baseline_accuracy().to_bits());
+        assert_eq!(remote.train_rows(), local.train_rows());
+        for kinds in [
+            vec![],
+            vec![PreprocKind::StandardScaler],
+            vec![PreprocKind::MinMaxScaler, PreprocKind::PowerTransformer],
+            vec![PreprocKind::Normalizer, PreprocKind::QuantileTransformer],
+        ] {
+            let p = Pipeline::from_kinds(&kinds);
+            let r = remote.try_evaluate(&p).expect("remote evaluates");
+            let l = local.evaluate(&p);
+            assert_eq!(r.accuracy.to_bits(), l.accuracy.to_bits(), "{p}");
+            assert_eq!(r.error.to_bits(), l.error.to_bits(), "{p}");
+            assert_eq!(r.failure, l.failure, "{p}");
+        }
+    }
+
+    #[test]
+    fn tcp_backend_round_trips_against_a_real_server() {
+        let server = Server::bind("127.0.0.1:0", Arc::new(WorkerService::new())).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        ping(&addr, Duration::from_secs(5)).expect("ping");
+        let backend = TcpBackend::new(vec![addr.clone()], ctx(), Duration::from_secs(30));
+        let remote = RemoteEvaluator::new(Box::new(backend), ctx().eval_config());
+        let local = local_evaluator();
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let r = remote.try_evaluate(&p).expect("remote evaluates");
+        assert_eq!(r.accuracy.to_bits(), local.evaluate(&p).accuracy.to_bits());
+
+        let s = stats(&addr, Duration::from_secs(5)).expect("stats");
+        // Describe (baseline probe) built the context; one eval served.
+        assert_eq!(s.served, 1);
+        assert_eq!(s.contexts, 1);
+
+        shutdown(&addr, Duration::from_secs(5)).expect("shutdown");
+        handle.join().expect("server thread").expect("server run");
+    }
+
+    #[test]
+    fn dead_address_is_a_transport_error() {
+        // Bind-then-drop guarantees a port with no listener.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let err = ping(&addr, Duration::from_millis(300)).expect_err("dead worker");
+        assert!(matches!(err, EvalError::Transport { .. }), "{err:?}");
+        let backend = TcpBackend::new(vec![addr], ctx(), Duration::from_millis(300));
+        let err = backend
+            .evaluate(0, &Pipeline::empty(), 1.0)
+            .expect_err("dead worker evaluate");
+        assert!(matches!(err, EvalError::Transport { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_range_worker_index_is_a_transport_error() {
+        let backend = LoopbackBackend::new(vec![Arc::new(WorkerService::new())], ctx());
+        let err = backend.evaluate(5, &Pipeline::empty(), 1.0).expect_err("bad index");
+        assert!(matches!(err, EvalError::Transport { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn server_side_failure_comes_back_as_the_original_error() {
+        let bad = EvalContext { dataset: "nope".into(), ..ctx() };
+        let backend = LoopbackBackend::new(vec![Arc::new(WorkerService::new())], bad);
+        let err = backend.evaluate(0, &Pipeline::empty(), 1.0).expect_err("unknown dataset");
+        assert!(
+            matches!(err, EvalError::Transport { ref detail } if detail.contains("unknown dataset")),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Spawning and supervising local worker processes.
+//!
+//! The bench harness's `--workers N` flag and the distributed test
+//! suite both need real `evald serve` child processes: spawn the
+//! binary, read the `evald listening on <addr>` line it prints once
+//! bound, and keep the [`std::process::Child`] so the worker dies with
+//! its supervisor (kill-on-drop) instead of leaking daemons.
+
+use std::io::{self, BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+/// The stdout prefix a worker prints once its listener is bound; the
+/// rest of the line is the address to dial.
+pub const READY_PREFIX: &str = "evald listening on ";
+
+/// One supervised worker process.
+pub struct Worker {
+    child: Child,
+    addr: String,
+}
+
+impl Worker {
+    /// The address the worker is serving on.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Kill the worker process immediately (SIGKILL) and reap it.
+    /// Idempotent: killing an already-dead worker is a no-op.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Worker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawn one `evald serve` worker from the binary at `bin` and wait
+/// until it reports its address.
+pub fn spawn_worker(bin: &Path) -> io::Result<Worker> {
+    let mut child = Command::new(bin)
+        .args(["serve"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(io::Error::other("worker stdout was not captured"));
+    };
+    let mut lines = BufReader::new(stdout).lines();
+    loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(addr) = line.strip_prefix(READY_PREFIX) {
+                    let addr = addr.trim().to_string();
+                    // Drain any further stdout on a detached thread so
+                    // the worker never blocks on a full pipe.
+                    std::thread::spawn(move || for _ in lines {});
+                    return Ok(Worker { child, addr });
+                }
+            }
+            Some(Err(e)) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(e);
+            }
+            None => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(io::Error::other("worker exited before reporting its address"));
+            }
+        }
+    }
+}
+
+/// A fleet of supervised local workers.
+pub struct WorkerFleet {
+    workers: Vec<Worker>,
+}
+
+impl WorkerFleet {
+    /// Spawn `n` workers from the binary at `bin`. If any spawn fails,
+    /// the already-started workers are killed (via drop) before the
+    /// error is returned.
+    pub fn spawn(bin: &Path, n: usize) -> io::Result<WorkerFleet> {
+        let mut workers = Vec::with_capacity(n);
+        for _ in 0..n {
+            workers.push(spawn_worker(bin)?);
+        }
+        Ok(WorkerFleet { workers })
+    }
+
+    /// The workers' addresses, in spawn (= shard) order. Killed workers
+    /// keep their slot: shard routing is positional.
+    pub fn addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// Number of workers in the fleet (dead ones included).
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the fleet has no workers at all.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Kill worker `i` (no-op for an out-of-range index or an
+    /// already-dead worker). Its address stays in [`WorkerFleet::addrs`]
+    /// so the requests sharded to it fail as transport errors — exactly
+    /// the mid-run worker-death scenario the fault tests exercise.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(w) = self.workers.get_mut(i) {
+            w.kill();
+        }
+    }
+}

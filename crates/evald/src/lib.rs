@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! `autofp-evald` — the sharded multi-process evaluation service.
+//!
+//! The bench harness's Table 4 matrix re-evaluates heavily overlapping
+//! pipeline sets across 15 algorithms; this crate turns that workload
+//! into a service: worker daemons own a process-local
+//! [`autofp_core::SharedEvalCache`] and execute evaluation requests
+//! over a dependency-free wire protocol, while
+//! [`autofp_core::RemoteEvaluator`] on the client side shards requests
+//! across the fleet by the stable `CacheKey` fingerprint.
+//!
+//! Module map:
+//!
+//! * [`wire`] — length-prefixed frames with hand-rolled canonical
+//!   serialization for every request/response; malformed input decodes
+//!   to [`autofp_core::EvalError::Transport`], never a panic.
+//! * [`service`] — [`service::WorkerService`], the transport-agnostic
+//!   request handler: one evaluator + cache per evaluation context,
+//!   built lazily from the dataset registry.
+//! * [`server`] — the TCP accept loop (`evald serve`), one thread per
+//!   connection, cooperative shutdown.
+//! * [`client`] — [`client::TcpBackend`] (connect-per-request with
+//!   timeouts) and [`client::LoopbackBackend`] (in-process transport
+//!   that still round-trips every byte through [`wire`]), both
+//!   implementing [`autofp_core::RemoteBackend`].
+//! * [`launch`] — spawning and supervising local worker processes
+//!   (used by the bench harness's `--workers N` flag and the
+//!   distributed test suite).
+//! * [`cli`] — the `evald` binary's command surface
+//!   (`serve`/`ping`/`stats`/`shutdown`).
+
+pub mod cli;
+pub mod client;
+pub mod launch;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use client::{ping, shutdown, stats, LoopbackBackend, TcpBackend};
+pub use launch::{spawn_worker, Worker, WorkerFleet};
+pub use server::Server;
+pub use service::WorkerService;
+pub use wire::{EvalContext, Request, Response, WorkerStats};

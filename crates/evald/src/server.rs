@@ -1,0 +1,158 @@
+//! The worker daemon's TCP accept loop.
+//!
+//! One thread per connection, frames in / frames out, cooperative
+//! shutdown: a [`crate::wire::Request::Shutdown`] frame flips the stop
+//! flag and pokes the listener awake with a self-connection so the
+//! accept loop can observe it. Malformed frames are answered with a
+//! [`crate::wire::Response::Error`] and the connection is closed — a
+//! hostile or torn client never takes the worker down.
+
+use crate::service::WorkerService;
+use crate::wire::{decode_request, encode_response, read_frame, write_frame, Request, Response};
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A bound, not-yet-running worker server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<WorkerService>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 to let the OS pick a free port).
+    pub fn bind(addr: impl ToSocketAddrs, service: Arc<WorkerService>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server { listener, service, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that makes [`Server::run`] return after the connection
+    /// being served finishes (used by tests; the CLI path stops via a
+    /// `Shutdown` frame instead).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Serve until shut down. Each connection gets its own detached
+    /// thread; a `Shutdown` request stops the accept loop after
+    /// answering.
+    pub fn run(self) -> io::Result<()> {
+        let local = self.listener.local_addr()?;
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                // A single torn accept is not fatal to the daemon.
+                Err(_) => continue,
+            };
+            let service = Arc::clone(&self.service);
+            let stop = Arc::clone(&self.stop);
+            std::thread::spawn(move || {
+                let shutdown = serve_connection(stream, &service);
+                if shutdown {
+                    stop.store(true, Ordering::SeqCst);
+                    // Poke the accept loop awake so it observes `stop`.
+                    let _ = TcpStream::connect_timeout(&local, Duration::from_secs(1));
+                }
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serve one connection to completion; returns whether a `Shutdown`
+/// request was received.
+fn serve_connection(mut stream: TcpStream, service: &WorkerService) -> bool {
+    let _ = stream.set_nodelay(true);
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            // Clean EOF: the client is done with this connection.
+            Ok(None) => return false,
+            // Torn frame: nothing sane to answer on this stream.
+            Err(_) => return false,
+        };
+        let response = match decode_request(&payload) {
+            Ok(req) => {
+                let resp = service.handle(&req);
+                if matches!(req, Request::Shutdown) {
+                    let _ = write_frame(&mut stream, &encode_response(&resp));
+                    return true;
+                }
+                resp
+            }
+            // Reflect the decode failure back, then drop the
+            // connection: after a corrupt frame the stream's framing
+            // can no longer be trusted.
+            Err(err) => {
+                let _ = write_frame(&mut stream, &encode_response(&Response::Error(err)));
+                return false;
+            }
+        };
+        if write_frame(&mut stream, &encode_response(&response)).is_err() {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode_request;
+
+    fn start_server() -> (std::net::SocketAddr, std::thread::JoinHandle<io::Result<()>>) {
+        let server =
+            Server::bind("127.0.0.1:0", Arc::new(WorkerService::new())).expect("bind");
+        let addr = server.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || server.run());
+        (addr, handle)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, req: &Request) -> Response {
+        write_frame(stream, &encode_request(req)).expect("write");
+        let payload = read_frame(stream).expect("read").expect("response frame");
+        crate::wire::decode_response(&payload).expect("decode")
+    }
+
+    #[test]
+    fn ping_stats_and_shutdown_over_real_tcp() {
+        let (addr, handle) = start_server();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+        let Response::Stats(stats) = roundtrip(&mut stream, &Request::Stats) else {
+            panic!("expected Stats");
+        };
+        assert_eq!(stats.served, 0);
+        assert_eq!(roundtrip(&mut stream, &Request::Shutdown), Response::Pong);
+        drop(stream);
+        handle.join().expect("server thread").expect("server run");
+    }
+
+    #[test]
+    fn corrupt_frame_gets_an_error_response_and_server_survives() {
+        let (addr, handle) = start_server();
+        {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write_frame(&mut stream, &[99, 1, 2, 3]).expect("write corrupt");
+            let payload = read_frame(&mut stream).expect("read").expect("error frame");
+            let resp = crate::wire::decode_response(&payload).expect("decode");
+            assert!(matches!(resp, Response::Error(_)), "{resp:?}");
+        }
+        // The daemon still answers fresh connections afterwards.
+        let mut stream = TcpStream::connect(addr).expect("reconnect");
+        assert_eq!(roundtrip(&mut stream, &Request::Ping), Response::Pong);
+        assert_eq!(roundtrip(&mut stream, &Request::Shutdown), Response::Pong);
+        drop(stream);
+        handle.join().expect("server thread").expect("server run");
+    }
+}

@@ -1,0 +1,266 @@
+//! The worker's transport-agnostic request handler.
+//!
+//! A [`WorkerService`] owns one [`Evaluator`] + [`SharedEvalCache`]
+//! pair per distinct [`EvalContext`] it has been asked about, built
+//! lazily by regenerating the named dataset from the registry — dataset
+//! generation is seeded purely by the dataset name, so every worker
+//! process materializes bit-identical data and its trials match an
+//! in-process evaluation exactly.
+//!
+//! The service is deliberately transport-free: [`crate::server`] feeds
+//! it decoded frames from TCP, [`crate::client::LoopbackBackend`] feeds
+//! it the same frames in memory, and both get byte-identical responses.
+
+use crate::wire::{EvalContext, Request, Response, WorkerStats};
+use autofp_core::{EvalError, Evaluator, SharedEvalCache};
+use autofp_data::spec_by_name;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One materialized evaluation context: the evaluator (dataset split,
+/// trainer, baseline) plus its process-local trial cache.
+struct ContextState {
+    evaluator: Evaluator,
+    cache: SharedEvalCache,
+}
+
+/// The worker daemon's brain: maps requests to responses.
+///
+/// Thread-safe behind `&self` — the TCP server handles each connection
+/// on its own thread against one shared `Arc<WorkerService>`.
+pub struct WorkerService {
+    /// LRU capacity for each context's cache (`None` = unbounded).
+    cache_capacity: Option<usize>,
+    /// Context canonical string -> materialized state. A `BTreeMap`
+    /// keeps stats aggregation in deterministic order.
+    contexts: Mutex<BTreeMap<String, Arc<ContextState>>>,
+    /// Evaluation requests handled (cache hits included).
+    served: AtomicU64,
+}
+
+impl WorkerService {
+    /// A service whose per-context caches are unbounded.
+    pub fn new() -> WorkerService {
+        WorkerService::with_cache_capacity(None)
+    }
+
+    /// A service whose per-context caches are LRU-capped at `capacity`
+    /// entries (`None` = unbounded, `Some(0)` = effectively disabled:
+    /// every insert is immediately evicted).
+    pub fn with_cache_capacity(capacity: Option<usize>) -> WorkerService {
+        WorkerService {
+            cache_capacity: capacity,
+            contexts: Mutex::new(BTreeMap::new()),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<ContextState>>> {
+        // A panic while holding the lock can only come from evaluator
+        // construction; the map itself is never left half-written, so
+        // recover the guard instead of wedging the worker.
+        self.contexts.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The materialized state for `ctx`, building it on first use.
+    fn context(&self, ctx: &EvalContext) -> Result<Arc<ContextState>, EvalError> {
+        if !(ctx.scale > 0.0 && ctx.scale <= 1.0) {
+            return Err(EvalError::Transport {
+                detail: format!("context scale {} outside (0, 1]", ctx.scale),
+            });
+        }
+        let key = ctx.canonical();
+        if let Some(state) = self.lock().get(&key) {
+            return Ok(Arc::clone(state));
+        }
+        let spec = spec_by_name(&ctx.dataset).ok_or_else(|| EvalError::Transport {
+            detail: format!("unknown dataset `{}`", ctx.dataset),
+        })?;
+        // Generate outside the lock: dataset materialization is the
+        // expensive part and is deterministic, so a racing duplicate
+        // build produces an identical evaluator and the first insert
+        // wins below.
+        let dataset = spec.generate(ctx.scale);
+        let evaluator = Evaluator::new(&dataset, ctx.eval_config());
+        let cache = match self.cache_capacity {
+            Some(cap) => SharedEvalCache::with_capacity(cap),
+            None => SharedEvalCache::new(),
+        };
+        let state = Arc::new(ContextState { evaluator, cache });
+        let mut map = self.lock();
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&state));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Cumulative counters: requests served, contexts built, and every
+    /// context's cache counters folded together.
+    pub fn stats(&self) -> WorkerStats {
+        let map = self.lock();
+        let mut out = WorkerStats {
+            served: self.served.load(Ordering::Relaxed),
+            contexts: map.len() as u64,
+            ..WorkerStats::default()
+        };
+        for state in map.values() {
+            let s = state.cache.stats();
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.entries += s.entries as u64;
+            out.evictions += s.evictions;
+            out.saved_nanos = out
+                .saved_nanos
+                .saturating_add(u64::try_from(s.saved.as_nanos()).unwrap_or(u64::MAX));
+        }
+        out
+    }
+
+    /// Serve one request. Total: every failure mode becomes
+    /// [`Response::Error`], and evaluation itself is shielded (a
+    /// panicking pipeline yields a worst-error trial, not a dead
+    /// worker).
+    pub fn handle(&self, req: &Request) -> Response {
+        match req {
+            Request::Ping | Request::Shutdown => Response::Pong,
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Describe(ctx) => match self.context(ctx) {
+                Ok(state) => Response::Described {
+                    baseline_accuracy: state.evaluator.baseline_accuracy(),
+                    train_rows: state.evaluator.split().train.n_rows() as u64,
+                },
+                Err(err) => Response::Error(err),
+            },
+            Request::Eval { ctx, pipeline, fraction } => match self.context(ctx) {
+                Ok(state) => {
+                    let trial =
+                        state.evaluator.evaluate_cached(pipeline, *fraction, &state.cache);
+                    self.served.fetch_add(1, Ordering::Relaxed);
+                    Response::Trial { trial, stats: self.stats() }
+                }
+                Err(err) => Response::Error(err),
+            },
+        }
+    }
+}
+
+impl Default for WorkerService {
+    fn default() -> Self {
+        WorkerService::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_models::classifier::ModelKind;
+    use autofp_preprocess::{Pipeline, PreprocKind};
+
+    fn ctx() -> EvalContext {
+        EvalContext {
+            dataset: "heart".to_string(),
+            scale: 0.5,
+            model: ModelKind::Lr,
+            train_fraction: 0.8,
+            seed: 7,
+            train_subsample: None,
+        }
+    }
+
+    #[test]
+    fn eval_matches_local_evaluator_bit_exactly() {
+        let svc = WorkerService::new();
+        let pipeline = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let resp = svc.handle(&Request::Eval { ctx: ctx(), pipeline: pipeline.clone(), fraction: 1.0 });
+        let Response::Trial { trial, stats } = resp else { panic!("expected Trial, got {resp:?}") };
+
+        let spec = spec_by_name("heart").expect("heart in registry");
+        let local = Evaluator::new(&spec.generate(0.5), ctx().eval_config());
+        let expect = local.evaluate(&pipeline);
+        assert_eq!(trial.accuracy.to_bits(), expect.accuracy.to_bits());
+        assert_eq!(trial.pipeline, expect.pipeline);
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.contexts, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn repeat_eval_hits_the_context_cache() {
+        let svc = WorkerService::new();
+        let req = Request::Eval {
+            ctx: ctx(),
+            pipeline: Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]),
+            fraction: 1.0,
+        };
+        let first = svc.handle(&req);
+        let second = svc.handle(&req);
+        let (Response::Trial { trial: a, .. }, Response::Trial { trial: b, stats }) =
+            (first, second)
+        else {
+            panic!("expected two Trial responses");
+        };
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.served, 2);
+    }
+
+    #[test]
+    fn distinct_contexts_get_distinct_caches() {
+        let svc = WorkerService::new();
+        let p = Pipeline::empty();
+        let other = EvalContext { seed: 8, ..ctx() };
+        let _ = svc.handle(&Request::Eval { ctx: ctx(), pipeline: p.clone(), fraction: 1.0 });
+        let _ = svc.handle(&Request::Eval { ctx: other, pipeline: p, fraction: 1.0 });
+        let stats = svc.stats();
+        assert_eq!(stats.contexts, 2);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn describe_reports_baseline_and_rows() {
+        let svc = WorkerService::new();
+        let resp = svc.handle(&Request::Describe(ctx()));
+        let Response::Described { baseline_accuracy, train_rows } = resp else {
+            panic!("expected Described, got {resp:?}");
+        };
+        assert!((0.0..=1.0).contains(&baseline_accuracy));
+        // heart at scale 0.5 = 121 rows; the stratified 80:20 split
+        // rounds per class, giving 97 training rows.
+        assert_eq!(train_rows, 97);
+    }
+
+    #[test]
+    fn unknown_dataset_and_bad_scale_are_errors_not_panics() {
+        let svc = WorkerService::new();
+        let bad_name = EvalContext { dataset: "no-such-dataset".into(), ..ctx() };
+        let resp = svc.handle(&Request::Describe(bad_name));
+        assert!(
+            matches!(resp, Response::Error(EvalError::Transport { ref detail })
+                if detail.contains("unknown dataset")),
+            "{resp:?}"
+        );
+        let bad_scale = EvalContext { scale: 0.0, ..ctx() };
+        let resp = svc.handle(&Request::Describe(bad_scale));
+        assert!(matches!(resp, Response::Error(EvalError::Transport { .. })), "{resp:?}");
+        let nan_scale = EvalContext { scale: f64::NAN, ..ctx() };
+        let resp = svc.handle(&Request::Describe(nan_scale));
+        assert!(matches!(resp, Response::Error(EvalError::Transport { .. })), "{resp:?}");
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_memoization() {
+        let svc = WorkerService::with_cache_capacity(Some(0));
+        let req = Request::Eval {
+            ctx: ctx(),
+            pipeline: Pipeline::from_kinds(&[PreprocKind::MaxAbsScaler]),
+            fraction: 1.0,
+        };
+        let _ = svc.handle(&req);
+        let _ = svc.handle(&req);
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+        assert!(stats.evictions >= 2);
+    }
+}

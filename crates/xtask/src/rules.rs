@@ -54,13 +54,21 @@ impl Violation {
 }
 
 /// Evaluation hot-path modules where panicking constructs are banned.
-const HOT_PATH: [&str; 3] =
-    ["crates/core/src/batch.rs", "crates/core/src/evaluator.rs", "crates/core/src/cache.rs"];
+/// `core/remote.rs` and `evald/wire.rs` sit on the distributed eval
+/// path: a panic there takes out a worker or a whole search, and the
+/// wire decoder in particular faces untrusted bytes.
+const HOT_PATH: [&str; 5] = [
+    "crates/core/src/batch.rs",
+    "crates/core/src/evaluator.rs",
+    "crates/core/src/cache.rs",
+    "crates/core/src/remote.rs",
+    "crates/evald/src/wire.rs",
+];
 const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/src/"];
 
 /// Modules whose outputs feed `History`, reports, or cache keys: hash
 /// containers (nondeterministic iteration order) need justification.
-const DET_CRITICAL: [&str; 7] = [
+const DET_CRITICAL: [&str; 8] = [
     "crates/core/src/history.rs",
     "crates/core/src/report.rs",
     "crates/core/src/cache.rs",
@@ -68,6 +76,7 @@ const DET_CRITICAL: [&str; 7] = [
     "crates/core/src/patterns.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/framework.rs",
+    "crates/evald/src/service.rs",
 ];
 
 /// Cache-identity regions: (file, block introducer). The rule applies

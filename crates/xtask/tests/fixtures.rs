@@ -121,6 +121,29 @@ fn panic_boundary_fires_in_hot_path_modules() {
 }
 
 #[test]
+fn panic_boundary_covers_the_distributed_eval_path() {
+    // The wire decoder faces untrusted bytes and the remote evaluator
+    // sits inside every distributed search — both are hot-path scoped.
+    let src = "pub fn f(x: Option<u8>) -> u8 { x.expect(\"always there\") }\n";
+    for path in ["crates/evald/src/wire.rs", "crates/core/src/remote.rs"] {
+        let vs = lint_file(path, src);
+        assert_eq!(rules_fired(&vs), vec!["panic-boundary"], "{path}");
+    }
+    // The rest of the evald crate (server loop, CLI) is not hot-path.
+    assert!(lint_file("crates/evald/src/server.rs", src).is_empty());
+}
+
+#[test]
+fn nondet_covers_the_worker_context_map() {
+    // The worker's context map feeds aggregated stats; hash containers
+    // are banned there like in the other determinism-critical modules.
+    let src = "pub fn f() { let m: std::collections::HashMap<u8, u8> = Default::default(); }\n";
+    let vs = lint_file("crates/evald/src/service.rs", src);
+    assert_eq!(rules_fired(&vs), vec!["nondet"]);
+    assert!(lint_file("crates/evald/src/client.rs", src).is_empty());
+}
+
+#[test]
 fn panic_boundary_ignores_cold_modules_total_fallbacks_and_tests() {
     let src = "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
     assert!(lint_file("crates/search/src/seeded.rs", src).is_empty());

@@ -1,0 +1,7 @@
+//! The `evald` worker daemon binary — thin wrapper over
+//! [`autofp_evald::cli`]. Lives in the root package so integration
+//! tests can locate the built binary via `CARGO_BIN_EXE_evald`.
+
+fn main() {
+    std::process::exit(autofp_evald::cli::run(std::env::args().skip(1).collect()));
+}

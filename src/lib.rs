@@ -21,6 +21,7 @@
 pub use autofp_automl as automl;
 pub use autofp_core as core;
 pub use autofp_data as data;
+pub use autofp_evald as evald;
 pub use autofp_linalg as linalg;
 pub use autofp_metafeatures as metafeatures;
 pub use autofp_models as models;

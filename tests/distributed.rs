@@ -1,0 +1,120 @@
+//! Distributed-evaluation suite: a scenario matrix run against real
+//! `evald` worker processes must be bit-identical to the in-process
+//! run, and must survive (deterministically) a worker dying mid-fleet.
+//!
+//! These tests spawn the actual `evald` binary (built by this
+//! package's `src/bin/evald.rs`) via `CARGO_BIN_EXE_evald`, so the
+//! full stack is exercised: process spawn → TCP → wire protocol →
+//! worker-local dataset regeneration → sharded cache → response.
+
+use autofp_bench::{run_matrix, HarnessConfig, MatrixOutcome};
+use autofp_core::{Budget, FailureKind};
+use autofp_data::{registry, DatasetSpec};
+use autofp_models::classifier::ModelKind;
+use autofp_search::AlgName;
+use autofp::evald::WorkerFleet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Same mini Table 4 matrix as tests/matrix.rs: 2 datasets × 2 models
+/// × 3 algorithms at an eval-count budget, so remote transport faults
+/// can never change how many proposals fit in the budget.
+fn mini_config() -> (Vec<DatasetSpec>, [ModelKind; 2], [AlgName; 3], HarnessConfig) {
+    let mut cfg = HarnessConfig::default();
+    cfg.scale = 0.05;
+    cfg.budget = Budget::evals(8);
+    cfg.max_rows = 160;
+    cfg.min_rows = 120;
+    cfg.max_len = 3;
+    cfg.seed = 11;
+    let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+    (specs, [ModelKind::Lr, ModelKind::Xgb], [AlgName::Rs, AlgName::Pmne, AlgName::Plne], cfg)
+}
+
+/// Deterministic serialization of a matrix run (mirrors
+/// tests/matrix.rs): identities, f64 bit patterns, eval counts, winning
+/// pipelines, failure tallies — no wall-clock or cache-counter fields.
+fn canonical(outcome: &MatrixOutcome) -> String {
+    let mut s = String::new();
+    for c in &outcome.cells {
+        let failures: Vec<String> = FailureKind::ALL
+            .iter()
+            .map(|&k| format!("{}={}", k.name(), c.failures.count(k)))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{}|{}|{}|{:016x}|{:016x}|{}|{}|{}",
+            c.dataset,
+            c.model.name(),
+            c.algorithm,
+            c.baseline.to_bits(),
+            c.best_accuracy.to_bits(),
+            c.n_evals,
+            c.best_pipeline,
+            failures.join(","),
+        );
+    }
+    s
+}
+
+fn spawn_fleet(n: usize) -> WorkerFleet {
+    WorkerFleet::spawn(Path::new(env!("CARGO_BIN_EXE_evald")), n).expect("spawn evald workers")
+}
+
+#[test]
+fn sharded_two_worker_run_is_bit_identical_to_in_process() {
+    let (specs, models, algs, mut cfg) = mini_config();
+    let local = canonical(&run_matrix(&specs, &models, &algs, &cfg));
+
+    let fleet = spawn_fleet(2);
+    cfg.remote_addrs = fleet.addrs();
+    let remote = run_matrix(&specs, &models, &algs, &cfg);
+    assert_eq!(
+        local,
+        canonical(&remote),
+        "sharded remote evaluation must reproduce the in-process matrix bit-identically"
+    );
+    // No transport faults in a healthy fleet.
+    assert_eq!(remote.failures.count(FailureKind::Transport), 0);
+}
+
+#[test]
+fn fleet_survives_a_killed_worker_deterministically() {
+    let (specs, models, algs, mut cfg) = mini_config();
+    let mut fleet = spawn_fleet(2);
+    cfg.remote_addrs = fleet.addrs();
+
+    // Warm run against the healthy fleet (also proves both workers are
+    // actually serving before we kill one).
+    let healthy = run_matrix(&specs, &models, &algs, &cfg);
+    assert_eq!(healthy.failures.count(FailureKind::Transport), 0);
+
+    // Kill worker 1. Its address stays in the shard map, so every
+    // request fingerprint-routed to it now fails: retries exhaust
+    // against a refused connection and the evaluation degrades to a
+    // worst-error trial tagged Transport.
+    fleet.kill(1);
+    let degraded = run_matrix(&specs, &models, &algs, &cfg);
+    let rerun = run_matrix(&specs, &models, &algs, &cfg);
+
+    assert_eq!(
+        canonical(&degraded),
+        canonical(&rerun),
+        "a dead worker must degrade the matrix deterministically"
+    );
+    assert!(
+        degraded.failures.count(FailureKind::Transport) > 0,
+        "requests sharded to the killed worker must surface as Transport failures"
+    );
+    // The budget still completes: worst-error trials count as
+    // evaluations, so every cell finishes its 8 evals.
+    for cell in &degraded.cells {
+        assert_eq!(cell.n_evals, 8, "{}/{}/{}", cell.dataset, cell.model.name(), cell.algorithm);
+    }
+    // And the run differs from the healthy one only through those
+    // worst-error trials — the surviving worker's results are intact
+    // (baselines come from worker 0's Describe and must match).
+    for (h, d) in healthy.cells.iter().zip(&degraded.cells) {
+        assert_eq!(h.baseline.to_bits(), d.baseline.to_bits());
+    }
+}
