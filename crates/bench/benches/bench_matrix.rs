@@ -1,19 +1,25 @@
 //! Wall-clock comparison of the Table-4-mini scenario matrix under the
-//! three cache modes: no cache, a private cache per cell, and one cache
-//! shared by every algorithm cell of a (dataset, model) group.
+//! three cache modes — no cache, a private cache per cell, and one
+//! cache shared by every algorithm cell of a (dataset, model) group —
+//! plus a fourth mode stacking the prefix-transform cache on top of
+//! the shared trial cache.
 //!
 //! The matrix is 2 datasets × 2 models × 4 algorithms with an
-//! eval-count budget, so all three modes run the exact same searches
+//! eval-count budget, so all four modes run the exact same searches
 //! and produce bit-identical cells; only how much evaluation work is
 //! deduplicated differs. `max_len = 2` over the 7-variant default
 //! space leaves only 56 distinct pipelines, and the algorithm mix is
 //! duplicate-heavy by construction: both PNAS variants open with the
 //! same 7 singles, and tournament evolution re-proposes mutated
-//! parents — the redundancy the shared mode exploits.
+//! parents — the redundancy the shared mode exploits. The prefix mode
+//! additionally reuses transformed matrices across *distinct* trials
+//! sharing a pipeline prefix, and across both models of a dataset.
 //!
 //! Run with `cargo bench -p autofp-bench --bench bench_matrix`.
 //! Speedups are printed against the no-cache baseline; the run asserts
-//! shared-cache beats per-cell caches on both wall-clock and misses.
+//! shared-cache beats per-cell caches on both wall-clock and misses,
+//! and that the prefix layer skips transform steps without losing the
+//! shared-cache wall-clock win.
 
 use autofp_bench::{run_matrix, CacheMode, HarnessConfig, MatrixOutcome};
 use autofp_core::Budget;
@@ -76,13 +82,32 @@ fn main() {
         shared_out.cache.lookups(),
     );
 
-    // All three modes must agree bit-for-bit on every cell.
+    cfg.prefix_cache = true;
+    let (prefixed, prefixed_out) = measure(|| run_matrix(&specs, &models, &algorithms, &cfg));
+    println!(
+        "shared + prefix   {:>9.1} ms   {:.2}x   ({} hits / {} lookups, {} transform steps skipped)",
+        prefixed.as_secs_f64() * 1e3,
+        no_cache.as_secs_f64() / prefixed.as_secs_f64(),
+        prefixed_out.prefix.hits,
+        prefixed_out.prefix.lookups(),
+        prefixed_out.prefix.steps_saved,
+    );
+
+    // All four modes must agree bit-for-bit on every cell.
     for (a, b) in base.cells.iter().zip(&shared_out.cells) {
         assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "shared != off");
     }
     for (a, b) in base.cells.iter().zip(&per_cell_out.cells) {
         assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "per-cell != off");
     }
+    for (a, b) in base.cells.iter().zip(&prefixed_out.cells) {
+        assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "prefix != off");
+        assert_eq!(a.best_pipeline, b.best_pipeline, "prefix != off");
+    }
+    assert!(
+        prefixed_out.prefix.steps_saved > 0,
+        "prefix cache must skip transform invocations on this duplicate-heavy matrix"
+    );
 
     assert!(
         shared_out.cache.misses < per_cell_out.cache.misses,
@@ -96,9 +121,21 @@ fn main() {
         vs_per_cell >= 1.0,
         "shared cache must not be slower than per-cell caches (got {vs_per_cell:.2}x)"
     );
+    let prefix_speedup = no_cache.as_secs_f64() / prefixed.as_secs_f64();
+    // Timer noise allowance: prefix-cache savings land on transform
+    // time the trial cache already mostly dedupes, so the win over
+    // shared-only is small — but stacking the layer must never cost a
+    // measurable fraction of the shared-mode win.
+    assert!(
+        prefix_speedup >= speedup * 0.9,
+        "prefix layer must preserve the shared-cache wall-clock win \
+         (shared {speedup:.2}x, +prefix {prefix_speedup:.2}x)"
+    );
     println!(
-        "\nok: shared cache is {speedup:.2}x no-cache and {vs_per_cell:.2}x per-cell, \
-         with {} fewer evaluations than per-cell caching",
-        per_cell_out.cache.misses - shared_out.cache.misses
+        "\nok: shared cache is {speedup:.2}x no-cache and {vs_per_cell:.2}x per-cell \
+         ({} fewer evaluations than per-cell); stacking the prefix cache is \
+         {prefix_speedup:.2}x no-cache with {} transform steps skipped",
+        per_cell_out.cache.misses - shared_out.cache.misses,
+        prefixed_out.prefix.steps_saved,
     );
 }

@@ -123,8 +123,16 @@ fn main() {
         for addr in &cfg.remote_addrs {
             match autofp_evald::stats(addr, std::time::Duration::from_secs(5)) {
                 Ok(s) => println!(
-                    "  {addr}: served={} contexts={} hits={} misses={} entries={} evictions={}",
-                    s.served, s.contexts, s.hits, s.misses, s.entries, s.evictions
+                    "  {addr}: served={} contexts={} hits={} misses={} entries={} evictions={} \
+                     prefix_hits={} prefix_steps_saved={}",
+                    s.served,
+                    s.contexts,
+                    s.hits,
+                    s.misses,
+                    s.entries,
+                    s.evictions,
+                    s.prefix_hits,
+                    s.prefix_steps_saved
                 ),
                 Err(e) => println!("  {addr}: unreachable ({e})"),
             }

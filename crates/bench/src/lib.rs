@@ -17,7 +17,8 @@
 
 use autofp_core::{
     pool_map, run_search_with, Budget, CacheStats, EvalCache, EvalConfig, Evaluate, Evaluator,
-    FailureStats, PhaseBreakdown, RemoteEvaluator, SharedEvalCache,
+    FailureStats, PhaseBreakdown, PrefixStats, RemoteEvaluator, SharedEvalCache,
+    SharedPrefixCache,
 };
 use autofp_data::{registry, spec_by_name, Dataset, DatasetSpec};
 use autofp_evald::{EvalContext, TcpBackend, WorkerFleet};
@@ -79,7 +80,25 @@ pub struct HarnessConfig {
     /// The exp binaries spawn the fleet via [`spawn_local_workers`] and
     /// fill in `remote_addrs` from it.
     pub workers: usize,
+    /// Enable the prefix-transform cache ([`autofp_core::PrefixCache`]):
+    /// one cache per *dataset*, shared across every model group and
+    /// algorithm cell of that dataset (prefix keys exclude the model).
+    /// Off by default — unlike the trial cache it holds whole dataset
+    /// copies, so it is opt-in per run.
+    pub prefix_cache: bool,
+    /// Byte budget for each per-dataset prefix cache; `None` =
+    /// unbounded. Ignored unless `prefix_cache` is on.
+    pub prefix_cache_bytes: Option<u64>,
+    /// Write a deterministic per-cell TSV (see [`cells_tsv`]) to this
+    /// path after the matrix run — CI diffs it across cache modes to
+    /// assert cell-level byte-identity.
+    pub cells_out: Option<std::path::PathBuf>,
 }
+
+/// Default byte budget of a per-dataset prefix cache (256 MiB):
+/// generous for the scaled benchmark datasets while bounding a long
+/// search over large matrices.
+pub const DEFAULT_PREFIX_BYTES: u64 = autofp_core::PrefixCache::DEFAULT_BYTE_BUDGET;
 
 impl Default for HarnessConfig {
     fn default() -> Self {
@@ -97,6 +116,9 @@ impl Default for HarnessConfig {
             cache_capacity: None,
             remote_addrs: Vec::new(),
             workers: 0,
+            prefix_cache: false,
+            prefix_cache_bytes: Some(DEFAULT_PREFIX_BYTES),
+            cells_out: None,
         }
     }
 }
@@ -114,17 +136,27 @@ impl HarnessConfig {
     /// Recognized keys: `--scale`, `--budget-ms`, `--evals`, `--seed`,
     /// `--datasets` (count or `all`), `--threads`, `--max-len`,
     /// `--cache` (`shared`/`per-cell`/`off`), `--cache-cap`,
-    /// `--remote` (comma-separated worker addresses), `--workers`
-    /// (local worker processes to spawn).
+    /// `--prefix-cache` (valueless: enables the prefix-transform
+    /// cache), `--prefix-cache-bytes` (per-dataset byte budget;
+    /// implies `--prefix-cache`), `--cells-out` (deterministic
+    /// per-cell TSV path), `--remote` (comma-separated worker
+    /// addresses), `--workers` (local worker processes to spawn).
     ///
     /// `--cache-cap 0` with a caching mode is contradictory (every
     /// insert would be evicted immediately, paying lock traffic for
-    /// zero reuse), so it downgrades to `--cache off` with a warning.
+    /// zero reuse), so it downgrades to `--cache off` with a warning;
+    /// `--prefix-cache-bytes 0` likewise disables the prefix cache.
     pub fn from_arg_slice(args: &[String]) -> HarnessConfig {
         let mut cfg = HarnessConfig::default();
         let mut i = 0;
         while i < args.len() {
             let key = args[i].as_str();
+            // `--prefix-cache` is the one valueless flag.
+            if key == "--prefix-cache" {
+                cfg.prefix_cache = true;
+                i += 1;
+                continue;
+            }
             let val = args.get(i + 1).cloned().unwrap_or_default();
             match key {
                 "--scale" => cfg.scale = val.parse().expect("--scale takes a float"),
@@ -157,6 +189,12 @@ impl HarnessConfig {
                 "--cache-cap" => {
                     cfg.cache_capacity = Some(val.parse().expect("--cache-cap takes an integer"));
                 }
+                "--prefix-cache-bytes" => {
+                    let bytes: u64 = val.parse().expect("--prefix-cache-bytes takes an integer");
+                    cfg.prefix_cache_bytes = Some(bytes);
+                    cfg.prefix_cache = true;
+                }
+                "--cells-out" => cfg.cells_out = Some(val.clone().into()),
                 "--remote" => {
                     cfg.remote_addrs =
                         val.split(',').filter(|s| !s.is_empty()).map(String::from).collect();
@@ -172,6 +210,12 @@ impl HarnessConfig {
                  downgrading to --cache off"
             );
             cfg.cache_mode = CacheMode::Off;
+        }
+        if cfg.prefix_cache_bytes == Some(0) && cfg.prefix_cache {
+            eprintln!(
+                "warning: --prefix-cache-bytes 0 admits nothing; disabling the prefix cache"
+            );
+            cfg.prefix_cache = false;
         }
         cfg
     }
@@ -220,6 +264,15 @@ impl HarnessConfig {
             None => SharedEvalCache::new(),
         }
     }
+
+    /// A fresh shareable prefix-transform cache honoring
+    /// `prefix_cache_bytes`.
+    pub fn new_prefix_cache(&self) -> SharedPrefixCache {
+        match self.prefix_cache_bytes {
+            Some(budget) => SharedPrefixCache::with_byte_budget(budget),
+            None => SharedPrefixCache::new(),
+        }
+    }
 }
 
 /// Result of one scenario cell (dataset × model × algorithm).
@@ -259,6 +312,9 @@ pub struct MatrixOutcome {
     pub cells: Vec<CellResult>,
     /// Cache counters folded over every cache the matrix created.
     pub cache: CacheStats,
+    /// Prefix-transform cache counters folded over the per-dataset
+    /// prefix caches (all zero when `prefix_cache` was off).
+    pub prefix: PrefixStats,
     /// Failure tallies folded over every cell and repeat.
     pub failures: FailureStats,
 }
@@ -284,10 +340,18 @@ pub fn run_matrix(
     config: &HarnessConfig,
 ) -> MatrixOutcome {
     if config.remote_addrs.is_empty() {
-        run_matrix_with(specs, models, algorithms, config, |d, c| Box::new(Evaluator::new(d, c)))
+        run_matrix_with(specs, models, algorithms, config, |d, c, prefix| {
+            let mut ev = Evaluator::new(d, c);
+            if let Some(cache) = prefix {
+                ev = ev.with_prefix_cache(cache.clone());
+            }
+            Box::new(ev)
+        })
     } else {
         let addrs = config.remote_addrs.clone();
-        run_matrix_with(specs, models, algorithms, config, move |d, c| {
+        // Remote evaluation ignores the harness prefix cache: the
+        // workers own per-context prefix caches on their side.
+        run_matrix_with(specs, models, algorithms, config, move |d, c, _prefix| {
             let spec = spec_by_name(&d.name)
                 .unwrap_or_else(|| panic!("remote mode needs registry dataset, got `{}`", d.name));
             let ctx = EvalContext {
@@ -326,7 +390,10 @@ pub fn spawn_local_workers(n: usize) -> std::io::Result<WorkerFleet> {
 /// [`run_matrix`] with a custom evaluator factory: `make_eval` builds
 /// the evaluator for each (dataset, model) group, letting tests wrap
 /// the real [`Evaluator`] (fault injection, instrumentation) without a
-/// parallel harness implementation.
+/// parallel harness implementation. The factory's third argument is
+/// the dataset's shared prefix cache when `config.prefix_cache` is on
+/// (attach it with [`Evaluator::with_prefix_cache`]); factories that
+/// ignore it simply run without prefix reuse.
 pub fn run_matrix_with<F>(
     specs: &[DatasetSpec],
     models: &[ModelKind],
@@ -335,10 +402,17 @@ pub fn run_matrix_with<F>(
     make_eval: F,
 ) -> MatrixOutcome
 where
-    F: Fn(&Dataset, EvalConfig) -> Box<dyn Evaluate> + Sync,
+    F: Fn(&Dataset, EvalConfig, Option<&SharedPrefixCache>) -> Box<dyn Evaluate> + Sync,
 {
     // Generate datasets once, share across threads.
     let datasets: Vec<Dataset> = specs.iter().map(|s| config.generate(s)).collect();
+
+    // One prefix cache per dataset, shared across every model group:
+    // prefix keys exclude the model, so LR/XGB/MLP cells over one
+    // dataset reuse each other's transform states.
+    let prefix_caches: Option<Vec<SharedPrefixCache>> = config
+        .prefix_cache
+        .then(|| datasets.iter().map(|_| config.new_prefix_cache()).collect());
 
     // Work items: (dataset index, model, algorithm).
     let mut cells: Vec<(usize, ModelKind, AlgName)> = Vec::new();
@@ -355,7 +429,8 @@ where
     // the group also owns the cache all of its cells reuse.
     let evaluators: Vec<Vec<Box<dyn Evaluate>>> = datasets
         .iter()
-        .map(|d| {
+        .enumerate()
+        .map(|(di, d)| {
             models
                 .iter()
                 .map(|&m| {
@@ -367,6 +442,7 @@ where
                             seed: config.seed,
                             train_subsample: None,
                         },
+                        prefix_caches.as_ref().map(|caches| &caches[di]),
                     )
                 })
                 .collect()
@@ -454,12 +530,58 @@ where
             cache.absorb(&shared.stats());
         }
     }
+    // Likewise each per-dataset prefix cache, exactly once.
+    let mut prefix = PrefixStats::default();
+    for shared in prefix_caches.iter().flatten() {
+        prefix.absorb(&shared.stats());
+    }
 
     out.sort_by(|a, b| {
         (a.dataset.clone(), a.model.name(), a.algorithm)
             .cmp(&(b.dataset.clone(), b.model.name(), b.algorithm))
     });
-    MatrixOutcome { cells: out, cache, failures }
+    let outcome = MatrixOutcome { cells: out, cache, prefix, failures };
+    if let Some(path) = &config.cells_out {
+        if let Err(err) = std::fs::write(path, cells_tsv(&outcome)) {
+            eprintln!("warning: could not write --cells-out {}: {err}", path.display());
+        }
+    }
+    outcome
+}
+
+/// Serialize everything deterministic about a matrix run as TSV: cell
+/// identity, f64 *bit patterns* for baseline and best accuracy, eval
+/// counts, winning pipelines, and failure tallies. Cache counters and
+/// wall-clock fields are deliberately excluded (hit/miss splits race
+/// under shared caches; timings are nondeterministic), so two runs of
+/// the same matrix config are byte-identical across thread counts,
+/// cache modes, and prefix-cache settings — CI diffs this artifact to
+/// pin cell-level byte-identity.
+pub fn cells_tsv(outcome: &MatrixOutcome) -> String {
+    use autofp_core::FailureKind;
+    use std::fmt::Write as _;
+    let mut s = String::from(
+        "dataset\tmodel\talgorithm\tbaseline_bits\tbest_accuracy_bits\tn_evals\tbest_pipeline\tfailures\n",
+    );
+    for c in &outcome.cells {
+        let failures: Vec<String> = FailureKind::ALL
+            .iter()
+            .map(|&k| format!("{}={}", k.name(), c.failures.count(k)))
+            .collect();
+        let _ = writeln!(
+            s,
+            "{}\t{}\t{}\t{:016x}\t{:016x}\t{}\t{}\t{}",
+            c.dataset,
+            c.model.name(),
+            c.algorithm,
+            c.baseline.to_bits(),
+            c.best_accuracy.to_bits(),
+            c.n_evals,
+            c.best_pipeline,
+            failures.join(","),
+        );
+    }
+    s
 }
 
 /// Print a fixed-width table: a header row and data rows.
@@ -488,7 +610,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 /// [`autofp_core::report::matrix_stats_markdown`]) under a results table.
 pub fn print_matrix_stats(outcome: &MatrixOutcome) {
     println!();
-    print!("{}", autofp_core::report::matrix_stats_markdown(&outcome.cache, &outcome.failures));
+    let prefix = (outcome.prefix.lookups() > 0).then_some(&outcome.prefix);
+    print!(
+        "{}",
+        autofp_core::report::matrix_stats_markdown(&outcome.cache, prefix, &outcome.failures)
+    );
 }
 
 /// Format a float with 4 decimals.
@@ -634,6 +760,59 @@ mod tests {
         assert_eq!(outcome.cells.len(), 1);
         // n_evals reports the per-repeat average.
         assert_eq!(outcome.cells[0].n_evals, 3);
+    }
+
+    #[test]
+    fn prefix_cache_flags_parse() {
+        // `--prefix-cache` is the one valueless flag the parser accepts.
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--prefix-cache"]));
+        assert!(cfg.prefix_cache);
+        assert_eq!(cfg.prefix_cache_bytes, Some(DEFAULT_PREFIX_BYTES));
+        // An explicit byte budget implies the cache is on.
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--prefix-cache-bytes", "1048576"]));
+        assert!(cfg.prefix_cache);
+        assert_eq!(cfg.prefix_cache_bytes, Some(1 << 20));
+        // A zero budget downgrades to off, mirroring `--cache-cap 0`.
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--prefix-cache", "--prefix-cache-bytes", "0"]));
+        assert!(!cfg.prefix_cache);
+        // The flag composes with ordinary `--key value` pairs on either side.
+        let cfg = HarnessConfig::from_arg_slice(&argv(&[
+            "--workers",
+            "2",
+            "--prefix-cache",
+            "--cells-out",
+            "/tmp/cells.tsv",
+        ]));
+        assert!(cfg.prefix_cache);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.cells_out.as_deref(), Some(std::path::Path::new("/tmp/cells.tsv")));
+    }
+
+    #[test]
+    fn prefix_cache_matrix_is_bit_identical_and_saves_steps() {
+        let mut cfg = HarnessConfig::default();
+        cfg.scale = 0.2;
+        cfg.budget = Budget::evals(6);
+        cfg.threads = 2;
+        let specs: Vec<DatasetSpec> = registry().into_iter().take(2).collect();
+        let models = [ModelKind::Lr, ModelKind::Xgb];
+        let algs = [AlgName::Rs, AlgName::Pmne];
+        let plain = run_matrix(&specs, &models, &algs, &cfg);
+        assert_eq!(plain.prefix.lookups(), 0, "prefix cache is opt-in");
+        cfg.prefix_cache = true;
+        let cached = run_matrix(&specs, &models, &algs, &cfg);
+        assert_eq!(plain.cells.len(), cached.cells.len());
+        for (a, b) in plain.cells.iter().zip(&cached.cells) {
+            assert_eq!(a.baseline.to_bits(), b.baseline.to_bits());
+            assert_eq!(a.best_accuracy.to_bits(), b.best_accuracy.to_bits(), "{}", a.dataset);
+            assert_eq!(a.best_pipeline, b.best_pipeline);
+            assert_eq!(a.n_evals, b.n_evals);
+        }
+        assert!(cached.prefix.lookups() > 0, "every non-empty pipeline probes the cache");
+        assert!(cached.prefix.hits > 0, "searchers revisit shared prefixes even at tiny budgets");
+        assert!(cached.prefix.steps_saved > 0, "hits skip at least their prefix depth in steps");
+        // The deterministic cell serialization cannot tell the two runs apart.
+        assert_eq!(cells_tsv(&plain), cells_tsv(&cached));
     }
 
     #[test]

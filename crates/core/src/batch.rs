@@ -24,6 +24,13 @@
 //! once the token fires (in-flight fits return early at their next
 //! epoch boundary), bounding wall-clock overrun per batch.
 //!
+//! An [`crate::Evaluator`] carrying a prefix-transform cache
+//! ([`crate::Evaluator::with_prefix_cache`]) keeps it through this
+//! layer automatically: the cache lives *inside* the evaluator, is
+//! thread-safe, and workers sharing it only skip redundant transform
+//! work — batch results stay bit-identical to the sequential,
+//! uncached path at any thread count (pinned by this module's tests).
+//!
 //! ```
 //! use autofp_core::{BatchEvaluator, EvalConfig, Evaluator};
 //! use autofp_data::SynthConfig;
@@ -317,6 +324,32 @@ mod tests {
                 );
                 assert_eq!(p.train_fraction, s.train_fraction);
             }
+        }
+    }
+
+    #[test]
+    fn prefix_cached_batches_match_uncached_at_any_thread_count() {
+        use crate::prefix::SharedPrefixCache;
+        let plain = evaluator();
+        let batch = random_batch(24, 11);
+        let sequential: Vec<Trial> = batch.iter().map(|p| plain.evaluate(p)).collect();
+        for threads in [1, 2, 8] {
+            // A fresh cache per thread count: workers race to insert
+            // and hit prefixes, which must never surface in results.
+            let cached = evaluator().with_prefix_cache(SharedPrefixCache::new());
+            let parallel =
+                BatchEvaluator::new(&cached).with_threads(threads).evaluate_batch(&batch);
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.pipeline.key(), s.pipeline.key());
+                assert_eq!(
+                    p.accuracy.to_bits(),
+                    s.accuracy.to_bits(),
+                    "prefix cache leaked into results at {threads} threads"
+                );
+                assert_eq!(p.failure, s.failure);
+            }
+            let stats = cached.prefix_stats().expect("cache attached");
+            assert_eq!(stats.lookups(), 24, "one probe per non-empty pipeline");
         }
     }
 

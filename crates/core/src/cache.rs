@@ -27,6 +27,42 @@
 //! evaluated the pipeline, is a property of the run, not the pipeline,
 //! so neither is ever stored.
 //!
+//! # The canonical-string contract
+//!
+//! [`CacheKey`] identity is *content-addressed*: the key is a canonical
+//! string spelling out every input that can change an evaluation's
+//! result, and nothing else. The grammar is fixed:
+//!
+//! ```text
+//! m={model name};seed={u64};tf={f64 bits};sub={rows, or -1};frac={f64 bits};p={pipeline key}
+//! ```
+//!
+//! where `tf` is the train fraction and `frac` the training-budget
+//! fraction, both as IEEE-754 bit patterns (`f64::to_bits` — string
+//! formatting would collapse distinct values), `sub` is the optional
+//! training subsample row count, and `{pipeline key}` is
+//! [`Pipeline::key`]'s step list *including every preprocessor
+//! parameter*. [`CacheKey::fingerprint`] is the FNV-1a 64-bit hash
+//! (offset `0xcbf29ce484222325`, prime `0x100000001b3`) of that string
+//! — stable across platforms, processes, and runs, which is why
+//! `core::remote` shards requests by it and golden tests pin exact
+//! values. Every consumer of this contract must preserve three rules:
+//!
+//! 1. **Total**: any input that can change the resulting trial must
+//!    appear in the canonical string. (Dataset identity rides outside
+//!    the key — a cache is scoped to one evaluator's split.)
+//! 2. **Pure**: key construction reads nothing but its arguments — no
+//!    clock, RNG, or interior mutability (enforced by the xtask
+//!    `cache-purity` lint over `impl CacheKey` and `fn fnv1a`).
+//! 3. **Collision-safe**: maps key on the full canonical string; the
+//!    fingerprint is for sharding and logs only.
+//!
+//! [`crate::prefix`] builds its prefix-transform keys on the same
+//! machinery and contract (same fingerprint, `layer=prefix;` namespace
+//! so the two key families can never collide); see its module docs for
+//! the fields it deliberately drops and ARCHITECTURE.md "Cache
+//! hierarchy" for how the two layers stack.
+//!
 //! ```
 //! use autofp_core::{EvalCache, EvalConfig, Evaluator};
 //! use autofp_data::SynthConfig;

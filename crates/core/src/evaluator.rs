@@ -24,13 +24,15 @@
 use crate::cache::{CacheKey, EvalCache};
 use crate::error::EvalError;
 use crate::history::Trial;
+use crate::prefix::{PrefixKey, PrefixStats, SharedPrefixCache};
 use autofp_data::{Dataset, Split};
+use autofp_linalg::Matrix;
 use autofp_models::classifier::{ModelKind, Trainer};
 use autofp_models::metrics::accuracy;
 use autofp_models::CancelToken;
 use autofp_preprocess::Pipeline;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of an evaluator.
 #[derive(Debug, Clone)]
@@ -98,6 +100,15 @@ pub trait Evaluate: Send + Sync {
     /// Number of training rows this evaluator fits on.
     fn train_rows(&self) -> usize;
 
+    /// Counter snapshot of the attached prefix-transform cache, if the
+    /// implementation holds one ([`Evaluator::with_prefix_cache`]).
+    /// Wrappers delegate; implementations without a local cache (e.g.
+    /// [`crate::RemoteEvaluator`], whose workers own theirs) keep the
+    /// `None` default.
+    fn prefix_stats(&self) -> Option<PrefixStats> {
+        None
+    }
+
     /// Shielded evaluation with cooperative cancellation: catches any
     /// panic from [`Evaluate::evaluate_raw`] and maps it to
     /// [`EvalError::Panic`], so one pathological pipeline costs one
@@ -161,6 +172,10 @@ pub struct Evaluator {
     // poisoned-dataset tests.
     train_input_finite: bool,
     valid_input_finite: bool,
+    // Optional prefix-transform cache (see `crate::prefix`): when
+    // attached, `evaluate_raw` resumes from the deepest cached prefix
+    // of each pipeline and stores every newly computed prefix state.
+    prefix_cache: Option<SharedPrefixCache>,
 }
 
 // Compile-time proof of the Sync-friendliness the batch layer relies
@@ -197,6 +212,7 @@ impl Evaluator {
             baseline: 0.0,
             train_input_finite,
             valid_input_finite,
+            prefix_cache: None,
         };
         ev.baseline = ev.evaluate(&Pipeline::empty()).accuracy;
         ev
@@ -225,6 +241,49 @@ impl Evaluator {
     /// The underlying split.
     pub fn split(&self) -> &Split {
         &self.split
+    }
+
+    /// Attach a prefix-transform cache ([`crate::PrefixCache`]): every
+    /// evaluation resumes from the deepest cached prefix of its
+    /// pipeline and memoizes each newly computed prefix state, so
+    /// pipelines sharing a prefix pay only for their suffix. Results
+    /// stay bit-identical with or without the cache — only wall-clock
+    /// attribution and cache counters change (see `crate::prefix`).
+    ///
+    /// Prefix keys exclude the model, so one cache may be shared by
+    /// evaluators of *different models over the same dataset* — but
+    /// never across datasets.
+    pub fn with_prefix_cache(mut self, cache: SharedPrefixCache) -> Evaluator {
+        self.prefix_cache = Some(cache);
+        self
+    }
+
+    /// The attached prefix cache, if any.
+    pub fn prefix_cache(&self) -> Option<&SharedPrefixCache> {
+        self.prefix_cache.as_ref()
+    }
+
+    /// Transform train + valid through `pipeline`, resuming from the
+    /// deepest cached prefix and caching every prefix state computed
+    /// on the way. Applies the suffix step-by-step with the exact
+    /// `fit_transform` calls the uncached whole-pipeline path runs, so
+    /// outputs are bit-identical to [`Pipeline::fit_transform`] +
+    /// `transform_new` on the raw split.
+    fn prefix_transform(&self, pipeline: &Pipeline, cache: &SharedPrefixCache) -> (Matrix, Matrix) {
+        let keys = PrefixKey::all_prefixes(pipeline, &self.config);
+        let (start, mut train, mut valid, mut cost) = match cache.lookup_longest(&keys) {
+            Some(hit) => (hit.depth, hit.train, hit.valid, hit.cost),
+            None => (0, self.split.train.x.clone(), self.split.valid.x.clone(), Duration::ZERO),
+        };
+        for (i, step) in pipeline.steps().iter().enumerate().skip(start) {
+            // lint:allow(nondet): per-prefix cost attribution feeds CacheStats-style `saved` accounting, never a search decision
+            let step_start = Instant::now();
+            let fitted = step.fit_transform(&mut train);
+            fitted.transform(&mut valid);
+            cost += step_start.elapsed();
+            cache.insert(&keys[i], &train, &valid, i + 1, cost);
+        }
+        (train, valid)
     }
 
     /// Evaluate a pipeline at full training budget.
@@ -271,11 +330,22 @@ impl Evaluate for Evaluator {
         fraction: f64,
         cancel: &CancelToken,
     ) -> Result<Trial, EvalError> {
-        // Prep: fit on train, transform train + valid.
+        // Prep: fit on train, transform train + valid. With a prefix
+        // cache attached, resume from the deepest cached prefix; the
+        // suffix runs the same per-step float ops in the same order,
+        // so the matrices are bit-identical either way. On a hit,
+        // `prep_time` records only the suffix work actually done (the
+        // skipped share is tracked in `PrefixStats::saved`).
         // lint:allow(nondet): Prep-phase attribution (Figure 7) measures time; it never feeds a search decision
         let prep_start = Instant::now();
-        let (fitted, train_x) = pipeline.fit_transform(&self.split.train.x);
-        let valid_x = fitted.transform_new(&self.split.valid.x);
+        let (train_x, valid_x) = match &self.prefix_cache {
+            Some(cache) if !pipeline.is_empty() => self.prefix_transform(pipeline, cache),
+            _ => {
+                let (fitted, train_x) = pipeline.fit_transform(&self.split.train.x);
+                let valid_x = fitted.transform_new(&self.split.valid.x);
+                (train_x, valid_x)
+            }
+        };
         let prep_time = prep_start.elapsed();
 
         // A preprocessor that maps finite input to NaN/inf has failed
@@ -353,6 +423,10 @@ impl Evaluate for Evaluator {
 
     fn train_rows(&self) -> usize {
         self.split.train.n_rows()
+    }
+
+    fn prefix_stats(&self) -> Option<PrefixStats> {
+        self.prefix_cache.as_ref().map(|c| c.stats())
     }
 }
 
@@ -444,6 +518,58 @@ mod tests {
             let t = ev.evaluate(&Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]));
             assert!((0.0..=1.0).contains(&t.accuracy), "{model}: {}", t.accuracy);
         }
+    }
+
+    #[test]
+    fn prefix_cache_is_bit_identical_and_skips_steps() {
+        use crate::prefix::SharedPrefixCache;
+        let d = scale_spread_dataset();
+        let plain = Evaluator::new(&d, EvalConfig::default());
+        let cached = Evaluator::new(&d, EvalConfig::default())
+            .with_prefix_cache(SharedPrefixCache::new());
+
+        // Pipelines sharing the [Standard, Power] prefix, evaluated in
+        // an order that exercises extension, exact replay, and a
+        // diverging suffix.
+        let family = [
+            Pipeline::from_kinds(&[PreprocKind::StandardScaler]),
+            Pipeline::from_kinds(&[PreprocKind::StandardScaler, PreprocKind::PowerTransformer]),
+            Pipeline::from_kinds(&[
+                PreprocKind::StandardScaler,
+                PreprocKind::PowerTransformer,
+                PreprocKind::QuantileTransformer,
+            ]),
+            Pipeline::from_kinds(&[
+                PreprocKind::StandardScaler,
+                PreprocKind::PowerTransformer,
+                PreprocKind::Binarizer,
+            ]),
+            Pipeline::from_kinds(&[PreprocKind::StandardScaler, PreprocKind::PowerTransformer]),
+        ];
+        for p in &family {
+            let a = plain.evaluate(p);
+            let b = cached.evaluate(p);
+            assert_eq!(
+                a.accuracy.to_bits(),
+                b.accuracy.to_bits(),
+                "prefix cache changed the result of `{p}`"
+            );
+            assert_eq!(a.failure, b.failure);
+        }
+        let stats = cached.prefix_stats().expect("cache attached");
+        assert!(plain.prefix_stats().is_none());
+        // Evaluations 2-5 all resume from a cached prefix.
+        assert_eq!((stats.hits, stats.misses), (4, 1));
+        // Saved fit_transform calls: 1 + 2 + 2 + 2 = 7.
+        assert_eq!(stats.steps_saved, 7);
+        assert!(stats.entries >= 4);
+
+        // Budgeted (fractional) evaluation reuses the same entries:
+        // prefix keys exclude the training-budget fraction.
+        let before = stats.hits;
+        let t = cached.evaluate_budgeted(&family[1], 0.5);
+        assert_eq!(t.accuracy.to_bits(), plain.evaluate_budgeted(&family[1], 0.5).accuracy.to_bits());
+        assert_eq!(cached.prefix_stats().unwrap().hits, before + 1);
     }
 
     #[test]

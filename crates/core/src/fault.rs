@@ -187,6 +187,10 @@ impl Evaluate for FaultInjector<'_> {
     fn train_rows(&self) -> usize {
         self.inner.train_rows()
     }
+
+    fn prefix_stats(&self) -> Option<crate::prefix::PrefixStats> {
+        self.inner.prefix_stats()
+    }
 }
 
 #[cfg(test)]

@@ -208,6 +208,7 @@ impl<'a> SearchContext<'a> {
             algorithm,
             breakdown: PhaseBreakdown { pick: self.pick_time, prep, train },
             failures: FailureStats::from_history(&self.history),
+            prefix: self.evaluator.prefix_stats(),
             history: self.history,
             elapsed: self.clock.elapsed(),
             cache: self.cache.map(|c| c.stats()),
@@ -231,6 +232,12 @@ pub struct SearchOutcome {
     /// Snapshot of the attached [`EvalCache`]'s statistics at finish
     /// time; `None` when the run was uncached.
     pub cache: Option<CacheStats>,
+    /// Snapshot of the evaluator's prefix-transform cache statistics
+    /// ([`crate::PrefixCache`]) at finish time; `None` when the
+    /// evaluator holds no prefix cache. When one prefix cache is
+    /// shared by several runs, the snapshot covers all of them up to
+    /// this finish.
+    pub prefix: Option<crate::prefix::PrefixStats>,
 }
 
 impl SearchOutcome {
@@ -396,6 +403,21 @@ mod tests {
             assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
         }
         assert!(cached.cache.is_some());
+    }
+
+    #[test]
+    fn prefix_stats_snapshot_into_outcome_and_preserve_results() {
+        let plain_ev = evaluator();
+        let prefix_ev = evaluator().with_prefix_cache(crate::prefix::SharedPrefixCache::new());
+        let plain = run_search(&mut FixedSearcher, &plain_ev, Budget::evals(6));
+        let prefixed = run_search(&mut FixedSearcher, &prefix_ev, Budget::evals(6));
+        assert!(plain.prefix.is_none());
+        let stats = prefixed.prefix.expect("prefix stats snapshotted");
+        assert!(stats.lookups() > 0);
+        for (a, b) in plain.history.trials().iter().zip(prefixed.history.trials()) {
+            assert_eq!(a.pipeline.key(), b.pipeline.key());
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        }
     }
 
     #[test]

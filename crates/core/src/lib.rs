@@ -18,9 +18,11 @@
 //! * [`ranking`] computes the paper's average-ranking tables (Table 4)
 //!   with its tie and ≥1.5%-improvement scenario rules.
 //! * [`batch::BatchEvaluator`] fans independent candidate evaluations
-//!   across a worker pool, and [`cache::EvalCache`] memoizes trials by
-//!   a stable pipeline fingerprint — together they attack the paper's
-//!   §5 finding that evaluation dominates search time.
+//!   across a worker pool, [`cache::EvalCache`] memoizes trials by a
+//!   stable pipeline fingerprint, and [`prefix::PrefixCache`] memoizes
+//!   *partially transformed datasets* so pipelines sharing a prefix pay
+//!   only for their suffix — together they attack the paper's §5
+//!   finding that evaluation dominates search time.
 //! * [`remote::RemoteEvaluator`] extends [`evaluator::Evaluate`] across
 //!   process boundaries: requests shard over a worker fleet by the
 //!   stable [`cache::CacheKey`] fingerprint, transport faults retry
@@ -46,6 +48,7 @@ pub mod framework;
 pub mod history;
 pub mod order;
 pub mod patterns;
+pub mod prefix;
 pub mod remote;
 pub mod report;
 pub mod ranking;
@@ -61,4 +64,5 @@ pub use framework::{
 };
 pub use history::{PhaseBreakdown, Trial, TrialHistory};
 pub use order::{nan_largest, nan_smallest};
+pub use prefix::{PrefixCache, PrefixHit, PrefixKey, PrefixStats, SharedPrefixCache};
 pub use remote::{shard, RemoteBackend, RemoteEvaluator, RemoteInfo, RetryPolicy};

@@ -7,6 +7,7 @@
 use crate::cache::CacheStats;
 use crate::error::{FailureKind, FailureStats};
 use crate::framework::SearchOutcome;
+use crate::prefix::PrefixStats;
 use std::fmt::Write as _;
 
 /// Render an outcome's trials as TSV (`index`, `pipeline`, `accuracy`,
@@ -66,6 +67,16 @@ pub fn summary_markdown(outcome: &SearchOutcome, baseline: f64) -> String {
             stats.saved.as_secs_f64(),
         );
     }
+    if let Some(p) = &outcome.prefix {
+        let _ = writeln!(
+            out,
+            "| prefix cache | {} hits / {} lookups ({:.0}% hit rate), {} steps saved |",
+            p.hits,
+            p.lookups(),
+            p.hit_rate() * 100.0,
+            p.steps_saved,
+        );
+    }
     if outcome.failures.total() > 0 {
         let detail: Vec<String> = FailureKind::ALL
             .iter()
@@ -95,46 +106,78 @@ pub fn failure_stats_markdown(stats: &FailureStats) -> String {
     out
 }
 
-/// Render an [`EvalCache`](crate::cache::EvalCache) statistics snapshot
-/// as a Markdown table.
-pub fn cache_stats_markdown(stats: &CacheStats) -> String {
-    let mut out = String::from("### Evaluation cache\n\n");
-    let _ = writeln!(out, "| metric | value |");
-    let _ = writeln!(out, "|---|---|");
-    let _ = writeln!(out, "| lookups | {} |", stats.lookups());
-    let _ = writeln!(out, "| hits | {} |", stats.hits);
-    let _ = writeln!(out, "| misses | {} |", stats.misses);
-    let _ = writeln!(out, "| hit rate | {:.1}% |", stats.hit_rate() * 100.0);
-    let _ = writeln!(out, "| entries | {} |", stats.entries);
-    let _ = writeln!(out, "| evictions | {} |", stats.evictions);
-    let _ = writeln!(out, "| eval time saved | {:.3} s |", stats.saved.as_secs_f64());
+/// Render cache-layer statistics as a Markdown table with one block of
+/// rows per layer, so trial-cache ([`crate::EvalCache`]) and
+/// prefix-cache ([`crate::PrefixCache`]) numbers stay distinguishable
+/// in exp_* bin output. Pass `prefix: None` for runs without a prefix
+/// cache — the table then only carries `trial` rows.
+pub fn cache_stats_markdown(stats: &CacheStats, prefix: Option<&PrefixStats>) -> String {
+    let mut out = String::from("### Evaluation caches\n\n");
+    let _ = writeln!(out, "| layer | metric | value |");
+    let _ = writeln!(out, "|---|---|---|");
+    let _ = writeln!(out, "| trial | lookups | {} |", stats.lookups());
+    let _ = writeln!(out, "| trial | hits | {} |", stats.hits);
+    let _ = writeln!(out, "| trial | misses | {} |", stats.misses);
+    let _ = writeln!(out, "| trial | hit rate | {:.1}% |", stats.hit_rate() * 100.0);
+    let _ = writeln!(out, "| trial | entries | {} |", stats.entries);
+    let _ = writeln!(out, "| trial | evictions | {} |", stats.evictions);
+    let _ = writeln!(out, "| trial | eval time saved | {:.3} s |", stats.saved.as_secs_f64());
+    if let Some(p) = prefix {
+        out.push_str(&prefix_stats_rows(p));
+    }
     out
 }
 
-/// Render matrix-level aggregate statistics — one cache tally and one
-/// failure tally folded over every cell of a dataset × model ×
+/// The `prefix` layer's rows of a per-layer cache table (shared by
+/// [`cache_stats_markdown`] and [`matrix_stats_markdown`]).
+fn prefix_stats_rows(p: &PrefixStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| prefix | lookups | {} |", p.lookups());
+    let _ = writeln!(out, "| prefix | hits | {} |", p.hits);
+    let _ = writeln!(out, "| prefix | misses | {} |", p.misses);
+    let _ = writeln!(out, "| prefix | hit rate | {:.1}% |", p.hit_rate() * 100.0);
+    let _ = writeln!(out, "| prefix | entries | {} |", p.entries);
+    let _ = writeln!(out, "| prefix | bytes | {} |", p.bytes);
+    let _ = writeln!(out, "| prefix | evictions | {} |", p.evictions);
+    let _ = writeln!(out, "| prefix | bytes evicted | {} |", p.bytes_evicted);
+    let _ = writeln!(out, "| prefix | poisoned rejects | {} |", p.poisoned);
+    let _ = writeln!(out, "| prefix | steps saved | {} |", p.steps_saved);
+    let _ = writeln!(out, "| prefix | transform time saved | {:.3} s |", p.saved.as_secs_f64());
+    out
+}
+
+/// Render matrix-level aggregate statistics — per-layer cache tallies
+/// and one failure tally folded over every cell of a dataset × model ×
 /// algorithm matrix — as a compact Markdown block.
 ///
 /// The bench harness prints this under each results table so shared
-/// cross-algorithm cache reuse (and any worst-error trials) are
+/// cross-algorithm cache reuse, prefix-transform reuse (when a prefix
+/// cache ran — pass `None` otherwise), and any worst-error trials are
 /// observable in the report itself.
-pub fn matrix_stats_markdown(cache: &CacheStats, failures: &FailureStats) -> String {
+pub fn matrix_stats_markdown(
+    cache: &CacheStats,
+    prefix: Option<&PrefixStats>,
+    failures: &FailureStats,
+) -> String {
     let mut out = String::from("### Matrix aggregate stats\n\n");
-    let _ = writeln!(out, "| metric | value |");
-    let _ = writeln!(out, "|---|---|");
-    let _ = writeln!(out, "| cache lookups | {} |", cache.lookups());
+    let _ = writeln!(out, "| layer | metric | value |");
+    let _ = writeln!(out, "|---|---|---|");
+    let _ = writeln!(out, "| trial | lookups | {} |", cache.lookups());
     let _ = writeln!(
         out,
-        "| cache hits | {} ({:.1}%) |",
+        "| trial | hits | {} ({:.1}%) |",
         cache.hits,
         cache.hit_rate() * 100.0
     );
-    let _ = writeln!(out, "| cache misses | {} |", cache.misses);
-    let _ = writeln!(out, "| cache entries | {} |", cache.entries);
-    let _ = writeln!(out, "| cache evictions | {} |", cache.evictions);
-    let _ = writeln!(out, "| eval time saved | {:.3} s |", cache.saved.as_secs_f64());
+    let _ = writeln!(out, "| trial | misses | {} |", cache.misses);
+    let _ = writeln!(out, "| trial | entries | {} |", cache.entries);
+    let _ = writeln!(out, "| trial | evictions | {} |", cache.evictions);
+    let _ = writeln!(out, "| trial | eval time saved | {:.3} s |", cache.saved.as_secs_f64());
+    if let Some(p) = prefix {
+        out.push_str(&prefix_stats_rows(p));
+    }
     if failures.total() == 0 {
-        let _ = writeln!(out, "| failed trials | 0 |");
+        let _ = writeln!(out, "| - | failed trials | 0 |");
     } else {
         let detail: Vec<String> = FailureKind::ALL
             .iter()
@@ -143,7 +186,7 @@ pub fn matrix_stats_markdown(cache: &CacheStats, failures: &FailureStats) -> Str
             .collect();
         let _ = writeln!(
             out,
-            "| failed trials | {} ({}) |",
+            "| - | failed trials | {} ({}) |",
             failures.total(),
             detail.join(", ")
         );
@@ -253,12 +296,61 @@ mod tests {
         let cache = EvalCache::new();
         let out = run_search_cached(&mut Fixed, &ev, Budget::evals(6), &cache);
         let stats = out.cache.expect("cached run snapshots stats");
-        let md = cache_stats_markdown(&stats);
-        assert!(md.contains("| lookups | 6 |"));
+        let md = cache_stats_markdown(&stats, None);
+        assert!(md.contains("| trial | lookups | 6 |"));
         assert!(md.contains("hit rate"));
-        assert!(md.contains("| evictions | 0 |"), "eviction count must be observable");
+        assert!(md.contains("| trial | evictions | 0 |"), "eviction count must be observable");
+        assert!(!md.contains("| prefix |"), "no prefix rows without a prefix cache");
         let summary = summary_markdown(&out, ev.baseline_accuracy());
         assert!(summary.contains("| cache |"));
+        assert!(!summary.contains("| prefix cache |"));
+    }
+
+    #[test]
+    fn per_layer_rows_keep_trial_and_prefix_distinguishable() {
+        use crate::prefix::PrefixStats;
+        let trial = CacheStats {
+            hits: 4,
+            misses: 6,
+            entries: 6,
+            evictions: 0,
+            saved: std::time::Duration::from_millis(20),
+        };
+        let prefix = PrefixStats {
+            hits: 8,
+            misses: 2,
+            entries: 5,
+            bytes: 4096,
+            evictions: 3,
+            bytes_evicted: 2048,
+            poisoned: 1,
+            steps_saved: 17,
+            saved: std::time::Duration::from_millis(50),
+        };
+        let md = cache_stats_markdown(&trial, Some(&prefix));
+        // Same metric name in both layers must resolve to different rows.
+        assert!(md.contains("| trial | hits | 4 |"));
+        assert!(md.contains("| prefix | hits | 8 |"));
+        assert!(md.contains("| prefix | bytes | 4096 |"));
+        assert!(md.contains("| prefix | bytes evicted | 2048 |"));
+        assert!(md.contains("| prefix | poisoned rejects | 1 |"));
+        assert!(md.contains("| prefix | steps saved | 17 |"));
+
+        let md = matrix_stats_markdown(&trial, Some(&prefix), &FailureStats::new());
+        assert!(md.contains("| trial | hits | 4 (40.0%) |"));
+        assert!(md.contains("| prefix | hits | 8 |"));
+        assert!(md.contains("| prefix | hit rate | 80.0% |"));
+    }
+
+    #[test]
+    fn prefix_summary_row_renders_when_cache_attached() {
+        use crate::prefix::SharedPrefixCache;
+        let d = SynthConfig::new("report-prefix", 100, 4, 2, 3).generate();
+        let ev = Evaluator::new(&d, EvalConfig::default())
+            .with_prefix_cache(SharedPrefixCache::new());
+        let out = run_search(&mut Fixed, &ev, Budget::evals(6));
+        let md = summary_markdown(&out, ev.baseline_accuracy());
+        assert!(md.contains("| prefix cache |"), "summary must surface prefix stats:\n{md}");
     }
 
     #[test]
@@ -271,14 +363,15 @@ mod tests {
         cache.entries = 7;
         cache.evictions = 2;
         let mut failures = FailureStats::new();
-        let md = matrix_stats_markdown(&cache, &failures);
-        assert!(md.contains("| cache lookups | 10 |"));
-        assert!(md.contains("| cache hits | 3 (30.0%) |"));
-        assert!(md.contains("| cache evictions | 2 |"));
-        assert!(md.contains("| failed trials | 0 |"));
+        let md = matrix_stats_markdown(&cache, None, &failures);
+        assert!(md.contains("| trial | lookups | 10 |"));
+        assert!(md.contains("| trial | hits | 3 (30.0%) |"));
+        assert!(md.contains("| trial | evictions | 2 |"));
+        assert!(md.contains("| - | failed trials | 0 |"));
+        assert!(!md.contains("| prefix |"));
         failures.record(FailureKind::Panic);
-        let md = matrix_stats_markdown(&cache, &failures);
-        assert!(md.contains("| failed trials | 1 (1 panic) |"));
+        let md = matrix_stats_markdown(&cache, None, &failures);
+        assert!(md.contains("| - | failed trials | 1 (1 panic) |"));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! The `evald` binary's command surface.
 //!
-//! * `evald serve [--port P] [--cache-cap N]` — run a worker daemon on
-//!   `127.0.0.1` (port 0 = OS-assigned) and print
-//!   `evald listening on <addr>` once bound, which supervisors parse.
+//! * `evald serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]`
+//!   — run a worker daemon on `127.0.0.1` (port 0 = OS-assigned) and
+//!   print `evald listening on <addr>` once bound, which supervisors
+//!   parse. The prefix-transform cache defaults to on at 256 MiB per
+//!   context; `--prefix-cache-bytes 0` turns it off.
 //! * `evald ping <addr>` / `evald stats <addr>` / `evald shutdown
 //!   <addr>` — operator utilities against a running worker.
 
@@ -18,8 +20,12 @@ const USAGE: &str = "\
 usage: evald <command>
 
 commands:
-  serve [--port P] [--cache-cap N]   run a worker daemon (port 0 = OS-assigned;
-                                     cache-cap bounds each context's LRU cache)
+  serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]
+                                     run a worker daemon (port 0 = OS-assigned;
+                                     cache-cap bounds each context's trial LRU;
+                                     prefix-cache-bytes bounds each context's
+                                     prefix-transform cache, 0 = off,
+                                     default 256 MiB)
   ping <addr>                        check a worker is alive
   stats <addr>                       print a worker's cumulative counters
   shutdown <addr>                    ask a worker to exit
@@ -40,7 +46,8 @@ pub fn run(args: Vec<String>) -> i32 {
         Some("stats") => rpc(&args[1..], "stats", |addr| {
             let s = client::stats(addr, RPC_TIMEOUT)?;
             println!(
-                "{addr}: served={} contexts={} hits={} misses={} entries={} evictions={} saved={:?}",
+                "{addr}: served={} contexts={} hits={} misses={} entries={} evictions={} saved={:?} \
+                 prefix_hits={} prefix_misses={} prefix_evictions={} prefix_steps_saved={}",
                 s.served,
                 s.contexts,
                 s.hits,
@@ -48,6 +55,10 @@ pub fn run(args: Vec<String>) -> i32 {
                 s.entries,
                 s.evictions,
                 Duration::from_nanos(s.saved_nanos),
+                s.prefix_hits,
+                s.prefix_misses,
+                s.prefix_evictions,
+                s.prefix_steps_saved,
             );
             Ok(())
         }),
@@ -74,6 +85,7 @@ pub fn run(args: Vec<String>) -> i32 {
 fn serve(args: &[String]) -> i32 {
     let mut port: u16 = 0;
     let mut cache_cap: Option<usize> = None;
+    let mut prefix_bytes: Option<u64> = Some(autofp_core::PrefixCache::DEFAULT_BYTE_BUDGET);
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -91,13 +103,20 @@ fn serve(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--prefix-cache-bytes" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(b)) => prefix_bytes = Some(b), // 0 = off (filtered by the service)
+                _ => {
+                    eprintln!("evald: --prefix-cache-bytes needs a non-negative integer");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("evald: unknown serve flag `{other}`\n{USAGE}");
                 return 2;
             }
         }
     }
-    let service = Arc::new(WorkerService::with_cache_capacity(cache_cap));
+    let service = Arc::new(WorkerService::with_caches(cache_cap, prefix_bytes));
     let server = match Server::bind(("127.0.0.1", port), service) {
         Ok(s) => s,
         Err(e) => {
@@ -158,6 +177,8 @@ mod tests {
         assert_eq!(run(argv(&["ping"])), 2);
         assert_eq!(run(argv(&["serve", "--port", "notanumber"])), 2);
         assert_eq!(run(argv(&["serve", "--cache-cap"])), 2);
+        assert_eq!(run(argv(&["serve", "--prefix-cache-bytes"])), 2);
+        assert_eq!(run(argv(&["serve", "--prefix-cache-bytes", "lots"])), 2);
         assert_eq!(run(argv(&["serve", "--bogus"])), 2);
     }
 

@@ -7,12 +7,20 @@
 //! process materializes bit-identical data and its trials match an
 //! in-process evaluation exactly.
 //!
+//! Each context's evaluator also carries its own prefix-transform
+//! cache ([`autofp_core::PrefixCache`], on by default at
+//! [`PrefixCache::DEFAULT_BYTE_BUDGET`]): a remote worker sees the
+//! same long shared pipeline prefixes the searchers generate, and
+//! serving the transform suffix instead of the whole pipeline is
+//! bit-identical to the uncached path, so the per-worker cache never
+//! threatens cross-process reproducibility.
+//!
 //! The service is deliberately transport-free: [`crate::server`] feeds
 //! it decoded frames from TCP, [`crate::client::LoopbackBackend`] feeds
 //! it the same frames in memory, and both get byte-identical responses.
 
 use crate::wire::{EvalContext, Request, Response, WorkerStats};
-use autofp_core::{EvalError, Evaluator, SharedEvalCache};
+use autofp_core::{EvalError, Evaluator, PrefixCache, SharedEvalCache, SharedPrefixCache};
 use autofp_data::spec_by_name;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +40,9 @@ struct ContextState {
 pub struct WorkerService {
     /// LRU capacity for each context's cache (`None` = unbounded).
     cache_capacity: Option<usize>,
+    /// Byte budget for each context's prefix-transform cache
+    /// (`None` = disabled, `Some(b)` = on, LRU-bounded at `b` bytes).
+    prefix_bytes: Option<u64>,
     /// Context canonical string -> materialized state. A `BTreeMap`
     /// keeps stats aggregation in deterministic order.
     contexts: Mutex<BTreeMap<String, Arc<ContextState>>>,
@@ -40,17 +51,28 @@ pub struct WorkerService {
 }
 
 impl WorkerService {
-    /// A service whose per-context caches are unbounded.
+    /// A service whose per-context trial caches are unbounded and
+    /// whose prefix caches run at the default byte budget.
     pub fn new() -> WorkerService {
         WorkerService::with_cache_capacity(None)
     }
 
     /// A service whose per-context caches are LRU-capped at `capacity`
     /// entries (`None` = unbounded, `Some(0)` = effectively disabled:
-    /// every insert is immediately evicted).
+    /// every insert is immediately evicted). Prefix caches stay at the
+    /// default byte budget.
     pub fn with_cache_capacity(capacity: Option<usize>) -> WorkerService {
+        WorkerService::with_caches(capacity, Some(PrefixCache::DEFAULT_BYTE_BUDGET))
+    }
+
+    /// Full cache control: trial-cache entry capacity plus the
+    /// prefix-transform cache byte budget (`None` = prefix cache off;
+    /// a `Some(0)` budget also admits nothing, so callers mapping a
+    /// `--prefix-cache-bytes 0` flag may pass either).
+    pub fn with_caches(capacity: Option<usize>, prefix_bytes: Option<u64>) -> WorkerService {
         WorkerService {
             cache_capacity: capacity,
+            prefix_bytes: prefix_bytes.filter(|&b| b > 0),
             contexts: Mutex::new(BTreeMap::new()),
             served: AtomicU64::new(0),
         }
@@ -82,7 +104,10 @@ impl WorkerService {
         // build produces an identical evaluator and the first insert
         // wins below.
         let dataset = spec.generate(ctx.scale);
-        let evaluator = Evaluator::new(&dataset, ctx.eval_config());
+        let mut evaluator = Evaluator::new(&dataset, ctx.eval_config());
+        if let Some(bytes) = self.prefix_bytes {
+            evaluator = evaluator.with_prefix_cache(SharedPrefixCache::with_byte_budget(bytes));
+        }
         let cache = match self.cache_capacity {
             Some(cap) => SharedEvalCache::with_capacity(cap),
             None => SharedEvalCache::new(),
@@ -111,6 +136,12 @@ impl WorkerService {
             out.saved_nanos = out
                 .saved_nanos
                 .saturating_add(u64::try_from(s.saved.as_nanos()).unwrap_or(u64::MAX));
+            if let Some(p) = state.evaluator.prefix_cache().map(|c| c.stats()) {
+                out.prefix_hits += p.hits;
+                out.prefix_misses += p.misses;
+                out.prefix_evictions += p.evictions;
+                out.prefix_steps_saved += p.steps_saved;
+            }
         }
         out
     }
@@ -245,6 +276,51 @@ mod tests {
         let nan_scale = EvalContext { scale: f64::NAN, ..ctx() };
         let resp = svc.handle(&Request::Describe(nan_scale));
         assert!(matches!(resp, Response::Error(EvalError::Transport { .. })), "{resp:?}");
+    }
+
+    #[test]
+    fn prefix_cache_counters_reach_worker_stats() {
+        let svc = WorkerService::new();
+        let shared = Pipeline::from_kinds(&[PreprocKind::StandardScaler, PreprocKind::Normalizer]);
+        let extended =
+            Pipeline::from_kinds(&[PreprocKind::StandardScaler, PreprocKind::Normalizer, PreprocKind::MinMaxScaler]);
+        let _ = svc.handle(&Request::Eval { ctx: ctx(), pipeline: shared, fraction: 1.0 });
+        let resp = svc.handle(&Request::Eval { ctx: ctx(), pipeline: extended, fraction: 1.0 });
+        let Response::Trial { stats, .. } = resp else { panic!("expected Trial, got {resp:?}") };
+        // The second pipeline extends the first, so its deepest-prefix
+        // probe hits and skips both shared transform steps.
+        assert_eq!(stats.prefix_hits, 1);
+        assert_eq!(stats.prefix_misses, 1);
+        assert_eq!(stats.prefix_steps_saved, 2);
+    }
+
+    #[test]
+    fn prefix_cache_bytes_zero_disables_the_layer() {
+        let svc = WorkerService::with_caches(None, Some(0));
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let resp = svc.handle(&Request::Eval { ctx: ctx(), pipeline: p, fraction: 1.0 });
+        let Response::Trial { stats, .. } = resp else { panic!("expected Trial, got {resp:?}") };
+        assert_eq!(stats.prefix_hits + stats.prefix_misses, 0, "no cache, no probes");
+    }
+
+    #[test]
+    fn prefix_cached_worker_matches_plain_evaluator_bit_exactly() {
+        let with = WorkerService::new();
+        let without = WorkerService::with_caches(None, None);
+        for kinds in [
+            vec![PreprocKind::StandardScaler],
+            vec![PreprocKind::StandardScaler, PreprocKind::PowerTransformer],
+            vec![PreprocKind::StandardScaler, PreprocKind::PowerTransformer, PreprocKind::Normalizer],
+        ] {
+            let req = Request::Eval { ctx: ctx(), pipeline: Pipeline::from_kinds(&kinds), fraction: 1.0 };
+            let (a, b) = (with.handle(&req), without.handle(&req));
+            let (Response::Trial { trial: a, .. }, Response::Trial { trial: b, .. }) = (a, b)
+            else {
+                panic!("expected two Trial responses");
+            };
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "{kinds:?}");
+            assert_eq!(a.error.to_bits(), b.error.to_bits(), "{kinds:?}");
+        }
     }
 
     #[test]

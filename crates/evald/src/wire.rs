@@ -92,6 +92,14 @@ pub struct WorkerStats {
     pub evictions: u64,
     /// Prep + Train wall-clock the hits avoided, in nanoseconds.
     pub saved_nanos: u64,
+    /// Prefix-transform cache hits over all contexts.
+    pub prefix_hits: u64,
+    /// Prefix-transform cache misses over all contexts.
+    pub prefix_misses: u64,
+    /// Prefix-transform cache evictions (LRU + oversize rejects).
+    pub prefix_evictions: u64,
+    /// Transform invocations the prefix hits skipped.
+    pub prefix_steps_saved: u64,
 }
 
 /// A client-to-worker message.
@@ -456,6 +464,10 @@ fn enc_stats(e: &mut Enc, s: &WorkerStats) {
     e.u64(s.entries);
     e.u64(s.evictions);
     e.u64(s.saved_nanos);
+    e.u64(s.prefix_hits);
+    e.u64(s.prefix_misses);
+    e.u64(s.prefix_evictions);
+    e.u64(s.prefix_steps_saved);
 }
 
 fn dec_stats(d: &mut Dec) -> Result<WorkerStats, EvalError> {
@@ -467,6 +479,10 @@ fn dec_stats(d: &mut Dec) -> Result<WorkerStats, EvalError> {
         entries: d.u64("stats entries")?,
         evictions: d.u64("stats evictions")?,
         saved_nanos: d.u64("stats saved_nanos")?,
+        prefix_hits: d.u64("stats prefix_hits")?,
+        prefix_misses: d.u64("stats prefix_misses")?,
+        prefix_evictions: d.u64("stats prefix_evictions")?,
+        prefix_steps_saved: d.u64("stats prefix_steps_saved")?,
     })
 }
 
@@ -662,6 +678,10 @@ mod tests {
             entries: 6,
             evictions: 1,
             saved_nanos: 42_000,
+            prefix_hits: 9,
+            prefix_misses: 3,
+            prefix_evictions: 2,
+            prefix_steps_saved: 17,
         }
     }
 

@@ -57,10 +57,11 @@ impl Violation {
 /// `core/remote.rs` and `evald/wire.rs` sit on the distributed eval
 /// path: a panic there takes out a worker or a whole search, and the
 /// wire decoder in particular faces untrusted bytes.
-const HOT_PATH: [&str; 5] = [
+const HOT_PATH: [&str; 6] = [
     "crates/core/src/batch.rs",
     "crates/core/src/evaluator.rs",
     "crates/core/src/cache.rs",
+    "crates/core/src/prefix.rs",
     "crates/core/src/remote.rs",
     "crates/evald/src/wire.rs",
 ];
@@ -68,10 +69,11 @@ const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/s
 
 /// Modules whose outputs feed `History`, reports, or cache keys: hash
 /// containers (nondeterministic iteration order) need justification.
-const DET_CRITICAL: [&str; 8] = [
+const DET_CRITICAL: [&str; 9] = [
     "crates/core/src/history.rs",
     "crates/core/src/report.rs",
     "crates/core/src/cache.rs",
+    "crates/core/src/prefix.rs",
     "crates/core/src/ranking.rs",
     "crates/core/src/patterns.rs",
     "crates/core/src/batch.rs",
@@ -81,9 +83,10 @@ const DET_CRITICAL: [&str; 8] = [
 
 /// Cache-identity regions: (file, block introducer). The rule applies
 /// inside the brace block following the introducer.
-const CACHE_PURITY_SPANS: [(&str, &str); 3] = [
+const CACHE_PURITY_SPANS: [(&str, &str); 4] = [
     ("crates/core/src/cache.rs", "impl CacheKey"),
     ("crates/core/src/cache.rs", "fn fnv1a"),
+    ("crates/core/src/prefix.rs", "impl PrefixKey"),
     ("crates/preprocess/src/pipeline.rs", "fn key"),
 ];
 

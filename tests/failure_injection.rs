@@ -200,7 +200,7 @@ fn matrix_panic_costs_one_trial_per_cell_and_spares_the_shared_cache() {
     let run = |threads: usize, real_panics: &Arc<AtomicU64>| {
         let mut cfg = cfg.clone();
         cfg.threads = threads;
-        run_matrix_with(&specs, &models, &algs, &cfg, |d, c| {
+        run_matrix_with(&specs, &models, &algs, &cfg, |d, c, _prefix| {
             Box::new(PanicsOn {
                 inner: Evaluator::new(d, c),
                 victim: victim.clone(),
