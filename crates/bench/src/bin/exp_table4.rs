@@ -4,14 +4,17 @@
 //!
 //! Usage: `cargo run --release -p autofp-bench --bin exp_table4
 //!   [--scale S] [--budget-ms MS | --evals N] [--datasets K|all] [--seed X]
-//!   [--workers N | --remote addr,addr,...]`
+//!   [--workers N | --remote addr,addr,...]
+//!   [--supervise-max-restarts R] [--supervise-backoff-ms MS]`
 //!
-//! `--workers N` spawns N local `evald` daemons and routes every
-//! evaluation through the sharded remote evaluator; `--remote` points
-//! at an already-running fleet instead.
+//! `--workers N` spawns N supervised local `evald` daemons — dead
+//! workers are respawned in the background and requests fail over to
+//! rendezvous successors in the meantime — and routes every evaluation
+//! through the sharded remote evaluator; `--remote` points at an
+//! already-running (unsupervised) fleet instead.
 
 use autofp_bench::{
-    f2, print_matrix_stats, print_table, run_matrix, spawn_local_workers, HarnessConfig,
+    f2, print_matrix_stats, print_table, run_matrix, spawn_supervised_fleet, HarnessConfig,
 };
 use autofp_core::ranking::{average_rankings, order_by_rank, Scenario, IMPROVEMENT_THRESHOLD};
 use autofp_models::classifier::ModelKind;
@@ -21,12 +24,20 @@ use std::collections::BTreeMap;
 fn main() {
     let mut cfg = HarnessConfig::from_args();
     // Spawn the local fleet first so it dies with this process (drop
-    // kills the children) even if the run panics.
-    let fleet = if cfg.workers > 0 && cfg.remote_addrs.is_empty() {
-        let fleet = spawn_local_workers(cfg.workers).expect("spawn evald workers");
-        cfg.remote_addrs = fleet.addrs();
-        println!("spawned {} evald workers: {:?}\n", fleet.len(), cfg.remote_addrs);
-        Some(fleet)
+    // shuts the children down) even if the run panics. The supervisor
+    // moves onto a background monitor thread that respawns dead workers
+    // and republishes the epoch-bumped fleet spec the matrix routes
+    // over.
+    let monitor = if cfg.workers > 0 && cfg.remote_addrs.is_empty() {
+        let supervisor =
+            spawn_supervised_fleet(cfg.workers, cfg.supervisor_config()).expect("spawn evald workers");
+        println!(
+            "spawned {} supervised evald workers: {:?}\n",
+            supervisor.len(),
+            supervisor.addrs()
+        );
+        cfg.fleet_spec = Some(supervisor.fleet());
+        Some(supervisor.monitor(std::time::Duration::from_millis(500)))
     } else {
         None
     };
@@ -117,10 +128,16 @@ fn main() {
     print_matrix_stats(&outcome);
 
     // With a remote fleet, report each worker's cumulative counters
-    // before the fleet is torn down.
-    if !cfg.remote_addrs.is_empty() {
+    // before the fleet is torn down. Under supervision the membership
+    // may have changed mid-run (respawned workers come back on fresh
+    // ports), so read the addresses from the live spec.
+    let worker_addrs: Vec<String> = match &cfg.fleet_spec {
+        Some(fleet) => fleet.snapshot().addrs,
+        None => cfg.remote_addrs.clone(),
+    };
+    if !worker_addrs.is_empty() {
         println!("\n-- evald worker stats --");
-        for addr in &cfg.remote_addrs {
+        for addr in &worker_addrs {
             match autofp_evald::stats(addr, std::time::Duration::from_secs(5)) {
                 Ok(s) => println!(
                     "  {addr}: served={} contexts={} hits={} misses={} entries={} evictions={} \
@@ -138,5 +155,5 @@ fn main() {
             }
         }
     }
-    drop(fleet);
+    drop(monitor);
 }

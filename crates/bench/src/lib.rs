@@ -17,11 +17,13 @@
 
 use autofp_core::{
     pool_map, run_search_with, Budget, CacheStats, EvalCache, EvalConfig, Evaluate, Evaluator,
-    FailureStats, PhaseBreakdown, PrefixStats, RemoteEvaluator, SharedEvalCache,
+    FailureStats, FleetStats, PhaseBreakdown, PrefixStats, RemoteEvaluator, SharedEvalCache,
     SharedPrefixCache,
 };
 use autofp_data::{registry, spec_by_name, Dataset, DatasetSpec};
-use autofp_evald::{EvalContext, TcpBackend, WorkerFleet};
+use autofp_evald::{
+    EvalContext, FleetSupervisor, SharedFleetSpec, SupervisorConfig, TcpPool, WorkerFleet,
+};
 use autofp_models::classifier::ModelKind;
 use autofp_preprocess::ParamSpace;
 use autofp_search::{make_searcher, AlgName};
@@ -77,9 +79,20 @@ pub struct HarnessConfig {
     /// the fleet by the stable cache-key fingerprint.
     pub remote_addrs: Vec<String>,
     /// Number of local `evald` workers to spawn for the run (0 = none).
-    /// The exp binaries spawn the fleet via [`spawn_local_workers`] and
-    /// fill in `remote_addrs` from it.
+    /// The exp binaries spawn the fleet via [`spawn_supervised_fleet`]
+    /// and hand its live membership to the matrix through `fleet_spec`.
     pub workers: usize,
+    /// Live fleet membership: when set, the matrix routes over this
+    /// epoch-stamped spec instead of the fixed `remote_addrs` list, so
+    /// a supervisor can respawn or resize workers mid-run and clients
+    /// follow along.
+    pub fleet_spec: Option<SharedFleetSpec>,
+    /// Maximum respawns per worker slot for a supervised `--workers`
+    /// fleet.
+    pub supervise_max_restarts: u32,
+    /// Base respawn backoff in milliseconds for a supervised fleet
+    /// (doubles per restart of the same slot, plus seeded jitter).
+    pub supervise_backoff_ms: u64,
     /// Enable the prefix-transform cache ([`autofp_core::PrefixCache`]):
     /// one cache per *dataset*, shared across every model group and
     /// algorithm cell of that dataset (prefix keys exclude the model).
@@ -116,6 +129,9 @@ impl Default for HarnessConfig {
             cache_capacity: None,
             remote_addrs: Vec::new(),
             workers: 0,
+            fleet_spec: None,
+            supervise_max_restarts: 3,
+            supervise_backoff_ms: 50,
             prefix_cache: false,
             prefix_cache_bytes: Some(DEFAULT_PREFIX_BYTES),
             cells_out: None,
@@ -125,10 +141,26 @@ impl Default for HarnessConfig {
 
 impl HarnessConfig {
     /// Parse this process's CLI arguments over the defaults (see
-    /// [`HarnessConfig::from_arg_slice`]).
+    /// [`HarnessConfig::try_from_arg_slice`]); invalid arguments print
+    /// a one-line error and exit with status 2.
     pub fn from_args() -> HarnessConfig {
         let args: Vec<String> = std::env::args().skip(1).collect();
-        Self::from_arg_slice(&args)
+        match Self::try_from_arg_slice(&args) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// [`HarnessConfig::try_from_arg_slice`] that panics on invalid
+    /// arguments — the test-friendly wrapper.
+    pub fn from_arg_slice(args: &[String]) -> HarnessConfig {
+        match Self::try_from_arg_slice(args) {
+            Ok(cfg) => cfg,
+            Err(msg) => panic!("{msg}"),
+        }
     }
 
     /// Parse `--key value` style arguments over the defaults.
@@ -140,13 +172,24 @@ impl HarnessConfig {
     /// cache), `--prefix-cache-bytes` (per-dataset byte budget;
     /// implies `--prefix-cache`), `--cells-out` (deterministic
     /// per-cell TSV path), `--remote` (comma-separated worker
-    /// addresses), `--workers` (local worker processes to spawn).
+    /// addresses), `--workers` (local worker processes to spawn),
+    /// `--supervise-max-restarts` / `--supervise-backoff-ms`
+    /// (supervisor knobs for a `--workers` fleet).
+    ///
+    /// Rejected outright: an explicit `--workers 0` (a zero-worker
+    /// fleet can serve nothing — omit the flag for an in-process run),
+    /// `--remote` addresses that are not unique `host:port` pairs with
+    /// a nonzero port, and `--workers` combined with `--remote` (spawn
+    /// a local fleet *or* point at an existing one, not both).
     ///
     /// `--cache-cap 0` with a caching mode is contradictory (every
     /// insert would be evicted immediately, paying lock traffic for
     /// zero reuse), so it downgrades to `--cache off` with a warning;
     /// `--prefix-cache-bytes 0` likewise disables the prefix cache.
-    pub fn from_arg_slice(args: &[String]) -> HarnessConfig {
+    pub fn try_from_arg_slice(args: &[String]) -> Result<HarnessConfig, String> {
+        fn num<T: std::str::FromStr>(val: &str, what: &str) -> Result<T, String> {
+            val.parse().map_err(|_| format!("{what}, got `{val}`"))
+        }
         let mut cfg = HarnessConfig::default();
         let mut i = 0;
         while i < args.len() {
@@ -159,50 +202,98 @@ impl HarnessConfig {
             }
             let val = args.get(i + 1).cloned().unwrap_or_default();
             match key {
-                "--scale" => cfg.scale = val.parse().expect("--scale takes a float"),
+                "--scale" => cfg.scale = num(&val, "--scale takes a float")?,
                 "--budget-ms" => {
-                    let ms: u64 = val.parse().expect("--budget-ms takes an integer");
+                    let ms: u64 = num(&val, "--budget-ms takes an integer")?;
                     cfg.budget = Budget::wall_clock(Duration::from_millis(ms));
                 }
                 "--evals" => {
-                    let n: usize = val.parse().expect("--evals takes an integer");
+                    let n: usize = num(&val, "--evals takes an integer")?;
                     cfg.budget = Budget::evals(n);
                 }
-                "--seed" => cfg.seed = val.parse().expect("--seed takes an integer"),
+                "--seed" => cfg.seed = num(&val, "--seed takes an integer")?,
                 "--datasets" => {
-                    cfg.n_datasets =
-                        if val == "all" { None } else { Some(val.parse().expect("--datasets")) };
+                    cfg.n_datasets = if val == "all" {
+                        None
+                    } else {
+                        Some(num(&val, "--datasets takes a count or `all`")?)
+                    };
                 }
-                "--threads" => cfg.threads = val.parse().expect("--threads takes an integer"),
-                "--max-len" => cfg.max_len = val.parse().expect("--max-len takes an integer"),
-                "--max-rows" => cfg.max_rows = val.parse().expect("--max-rows takes an integer"),
-                "--min-rows" => cfg.min_rows = val.parse().expect("--min-rows takes an integer"),
-                "--repeats" => cfg.repeats = val.parse().expect("--repeats takes an integer"),
+                "--threads" => cfg.threads = num(&val, "--threads takes an integer")?,
+                "--max-len" => cfg.max_len = num(&val, "--max-len takes an integer")?,
+                "--max-rows" => cfg.max_rows = num(&val, "--max-rows takes an integer")?,
+                "--min-rows" => cfg.min_rows = num(&val, "--min-rows takes an integer")?,
+                "--repeats" => cfg.repeats = num(&val, "--repeats takes an integer")?,
                 "--cache" => {
                     cfg.cache_mode = match val.as_str() {
                         "shared" => CacheMode::Shared,
                         "per-cell" => CacheMode::PerCell,
                         "off" => CacheMode::Off,
-                        other => panic!("--cache takes shared|per-cell|off, got {other}"),
+                        other => return Err(format!("--cache takes shared|per-cell|off, got {other}")),
                     };
                 }
                 "--cache-cap" => {
-                    cfg.cache_capacity = Some(val.parse().expect("--cache-cap takes an integer"));
+                    cfg.cache_capacity = Some(num(&val, "--cache-cap takes an integer")?);
                 }
                 "--prefix-cache-bytes" => {
-                    let bytes: u64 = val.parse().expect("--prefix-cache-bytes takes an integer");
+                    let bytes: u64 = num(&val, "--prefix-cache-bytes takes an integer")?;
                     cfg.prefix_cache_bytes = Some(bytes);
                     cfg.prefix_cache = true;
                 }
                 "--cells-out" => cfg.cells_out = Some(val.clone().into()),
                 "--remote" => {
-                    cfg.remote_addrs =
+                    let addrs: Vec<String> =
                         val.split(',').filter(|s| !s.is_empty()).map(String::from).collect();
+                    if addrs.is_empty() {
+                        return Err("--remote needs at least one host:port address".into());
+                    }
+                    for (idx, addr) in addrs.iter().enumerate() {
+                        let well_formed = addr.rsplit_once(':').is_some_and(|(host, port)| {
+                            !host.is_empty() && port.parse::<u16>().is_ok_and(|p| p != 0)
+                        });
+                        if !well_formed {
+                            return Err(format!(
+                                "--remote address `{addr}` is not `host:port` with a nonzero port"
+                            ));
+                        }
+                        if addrs[..idx].contains(addr) {
+                            return Err(format!(
+                                "--remote lists `{addr}` more than once; \
+                                 each worker address must be unique"
+                            ));
+                        }
+                    }
+                    cfg.remote_addrs = addrs;
                 }
-                "--workers" => cfg.workers = val.parse().expect("--workers takes an integer"),
-                other => panic!("unknown argument: {other}"),
+                "--workers" => {
+                    let n: usize = num(&val, "--workers takes an integer")?;
+                    if n == 0 {
+                        return Err(
+                            "--workers 0 would spawn an empty fleet; \
+                             omit --workers for an in-process run"
+                                .into(),
+                        );
+                    }
+                    cfg.workers = n;
+                }
+                "--supervise-max-restarts" => {
+                    cfg.supervise_max_restarts =
+                        num(&val, "--supervise-max-restarts takes an integer")?;
+                }
+                "--supervise-backoff-ms" => {
+                    cfg.supervise_backoff_ms =
+                        num(&val, "--supervise-backoff-ms takes an integer")?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
             }
             i += 2;
+        }
+        if cfg.workers > 0 && !cfg.remote_addrs.is_empty() {
+            return Err(
+                "--workers spawns a local fleet and --remote points at an existing one; \
+                 pass only one of them"
+                    .into(),
+            );
         }
         if cfg.cache_capacity == Some(0) && cfg.cache_mode != CacheMode::Off {
             eprintln!(
@@ -217,7 +308,17 @@ impl HarnessConfig {
             );
             cfg.prefix_cache = false;
         }
-        cfg
+        Ok(cfg)
+    }
+
+    /// The [`SupervisorConfig`] a `--workers` fleet should run with,
+    /// built from the `--supervise-*` knobs over supervisor defaults.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts: self.supervise_max_restarts,
+            backoff: Duration::from_millis(self.supervise_backoff_ms),
+            ..SupervisorConfig::default()
+        }
     }
 
     /// The dataset specs this run covers.
@@ -317,6 +418,12 @@ pub struct MatrixOutcome {
     pub prefix: PrefixStats,
     /// Failure tallies folded over every cell and repeat.
     pub failures: FailureStats,
+    /// Fleet robustness counters (reconnects, retries, failovers,
+    /// circuit-opens, respawns) from the shared remote pool; `None`
+    /// for in-process runs. Deliberately excluded from [`cells_tsv`]:
+    /// how the fleet healed is nondeterministic, what it computed is
+    /// not.
+    pub fleet: Option<FleetStats>,
 }
 
 /// Per-socket-operation timeout for remote evaluations. Generous: a
@@ -339,7 +446,7 @@ pub fn run_matrix(
     algorithms: &[AlgName],
     config: &HarnessConfig,
 ) -> MatrixOutcome {
-    if config.remote_addrs.is_empty() {
+    if config.remote_addrs.is_empty() && config.fleet_spec.is_none() {
         run_matrix_with(specs, models, algorithms, config, |d, c, prefix| {
             let mut ev = Evaluator::new(d, c);
             if let Some(cache) = prefix {
@@ -348,23 +455,34 @@ pub fn run_matrix(
             Box::new(ev)
         })
     } else {
-        let addrs = config.remote_addrs.clone();
+        // One pool for the whole matrix: every (dataset, model) group's
+        // backend shares its connections, circuit breakers, and fleet
+        // membership, so a supervisor's epoch bumps reach all of them.
+        let fleet = match &config.fleet_spec {
+            Some(spec) => spec.clone(),
+            None => SharedFleetSpec::fixed(config.remote_addrs.clone()),
+        };
+        let pool = TcpPool::new(fleet, REMOTE_TIMEOUT);
+        let factory_pool = pool.clone();
         // Remote evaluation ignores the harness prefix cache: the
         // workers own per-context prefix caches on their side.
-        run_matrix_with(specs, models, algorithms, config, move |d, c, _prefix| {
-            let spec = spec_by_name(&d.name)
-                .unwrap_or_else(|| panic!("remote mode needs registry dataset, got `{}`", d.name));
-            let ctx = EvalContext {
-                dataset: d.name.clone(),
-                scale: config.effective_scale(&spec),
-                model: c.model,
-                train_fraction: c.train_fraction,
-                seed: c.seed,
-                train_subsample: c.train_subsample.map(|v| v as u64),
-            };
-            let backend = TcpBackend::new(addrs.clone(), ctx, REMOTE_TIMEOUT);
-            Box::new(RemoteEvaluator::new(Box::new(backend), c))
-        })
+        let mut outcome =
+            run_matrix_with(specs, models, algorithms, config, move |d, c, _prefix| {
+                let spec = spec_by_name(&d.name).unwrap_or_else(|| {
+                    panic!("remote mode needs registry dataset, got `{}`", d.name)
+                });
+                let ctx = EvalContext {
+                    dataset: d.name.clone(),
+                    scale: config.effective_scale(&spec),
+                    model: c.model,
+                    train_fraction: c.train_fraction,
+                    seed: c.seed,
+                    train_subsample: c.train_subsample.map(|v| v as u64),
+                };
+                Box::new(RemoteEvaluator::new(Box::new(factory_pool.backend(ctx)), c))
+            });
+        outcome.fleet = Some(pool.fleet_stats());
+        outcome
     }
 }
 
@@ -380,11 +498,24 @@ pub fn evald_binary() -> std::path::PathBuf {
     dir.join(format!("evald{}", std::env::consts::EXE_SUFFIX))
 }
 
-/// Spawn `n` local `evald` workers (see [`evald_binary`]) for a
-/// `--workers N` run. The fleet kills its children on drop; keep it
-/// alive for the whole matrix run.
+/// Spawn `n` local `evald` workers (see [`evald_binary`]) with fixed
+/// membership — no health checks, no respawn. The fleet shuts its
+/// children down on drop; keep it alive for the whole matrix run.
 pub fn spawn_local_workers(n: usize) -> std::io::Result<WorkerFleet> {
     WorkerFleet::spawn(&evald_binary(), n)
+}
+
+/// Spawn `n` supervised local `evald` workers (see [`evald_binary`])
+/// for a `--workers N` run: the returned [`FleetSupervisor`] owns the
+/// children, and its [`FleetSupervisor::monitor`] loop respawns dead
+/// ones and republishes membership. Route the matrix over its live
+/// spec by putting [`FleetSupervisor::fleet`] into
+/// [`HarnessConfig::fleet_spec`].
+pub fn spawn_supervised_fleet(
+    n: usize,
+    config: SupervisorConfig,
+) -> std::io::Result<FleetSupervisor> {
+    FleetSupervisor::spawn(&evald_binary(), n, config)
 }
 
 /// [`run_matrix`] with a custom evaluator factory: `make_eval` builds
@@ -540,7 +671,7 @@ where
         (a.dataset.clone(), a.model.name(), a.algorithm)
             .cmp(&(b.dataset.clone(), b.model.name(), b.algorithm))
     });
-    let outcome = MatrixOutcome { cells: out, cache, prefix, failures };
+    let outcome = MatrixOutcome { cells: out, cache, prefix, failures, fleet: None };
     if let Some(path) = &config.cells_out {
         if let Err(err) = std::fs::write(path, cells_tsv(&outcome)) {
             eprintln!("warning: could not write --cells-out {}: {err}", path.display());
@@ -615,6 +746,10 @@ pub fn print_matrix_stats(outcome: &MatrixOutcome) {
         "{}",
         autofp_core::report::matrix_stats_markdown(&outcome.cache, prefix, &outcome.failures)
     );
+    if let Some(fleet) = &outcome.fleet {
+        println!();
+        print!("{}", autofp_core::report::fleet_stats_markdown(fleet));
+    }
 }
 
 /// Format a float with 4 decimals.
@@ -640,15 +775,68 @@ mod tests {
         let cfg = HarnessConfig::from_arg_slice(&argv(&[
             "--remote",
             "127.0.0.1:4000,127.0.0.1:4001",
-            "--workers",
-            "2",
             "--cache-cap",
             "64",
         ]));
         assert_eq!(cfg.remote_addrs, vec!["127.0.0.1:4000", "127.0.0.1:4001"]);
-        assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.cache_capacity, Some(64));
         assert_eq!(cfg.cache_mode, CacheMode::Shared, "nonzero cap keeps caching on");
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--workers", "2"]));
+        assert_eq!(cfg.workers, 2);
+        assert!(cfg.remote_addrs.is_empty());
+    }
+
+    #[test]
+    fn invalid_worker_and_remote_combinations_are_rejected() {
+        // An explicit zero-worker fleet is an error, not a silent no-op.
+        let err = HarnessConfig::try_from_arg_slice(&argv(&["--workers", "0"])).unwrap_err();
+        assert!(err.contains("--workers 0"), "{err}");
+        // Spawning a fleet and pointing at an existing one conflict.
+        let err = HarnessConfig::try_from_arg_slice(&argv(&[
+            "--workers",
+            "2",
+            "--remote",
+            "127.0.0.1:4000",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("only one"), "{err}");
+        // Duplicate worker addresses would double-count a shard.
+        let err = HarnessConfig::try_from_arg_slice(&argv(&[
+            "--remote",
+            "127.0.0.1:4000,127.0.0.1:4000",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("unique"), "{err}");
+        // Malformed addresses: no port, empty host, non-numeric or
+        // out-of-range or zero port.
+        for bad in ["localhost", ":4000", "h:port", "h:0", "h:70000", ""] {
+            let args = argv(&["--remote", bad]);
+            assert!(HarnessConfig::try_from_arg_slice(&args).is_err(), "accepted `{bad}`");
+        }
+        // Unknown flags and unparsable values surface as errors too.
+        assert!(HarnessConfig::try_from_arg_slice(&argv(&["--bogus", "1"])).is_err());
+        assert!(HarnessConfig::try_from_arg_slice(&argv(&["--workers", "many"])).is_err());
+    }
+
+    #[test]
+    fn supervise_knobs_parse_into_the_supervisor_config() {
+        let cfg = HarnessConfig::from_arg_slice(&argv(&[
+            "--workers",
+            "2",
+            "--supervise-max-restarts",
+            "5",
+            "--supervise-backoff-ms",
+            "20",
+        ]));
+        assert_eq!(cfg.supervise_max_restarts, 5);
+        assert_eq!(cfg.supervise_backoff_ms, 20);
+        let sup = cfg.supervisor_config();
+        assert_eq!(sup.max_restarts, 5);
+        assert_eq!(sup.backoff, Duration::from_millis(20));
+        // Defaults flow through unchanged.
+        let defaults = HarnessConfig::default().supervisor_config();
+        assert_eq!(defaults.max_restarts, 3);
+        assert_eq!(defaults.backoff, Duration::from_millis(50));
     }
 
     #[test]

@@ -65,4 +65,7 @@ pub use framework::{
 pub use history::{PhaseBreakdown, Trial, TrialHistory};
 pub use order::{nan_largest, nan_smallest};
 pub use prefix::{PrefixCache, PrefixHit, PrefixKey, PrefixStats, SharedPrefixCache};
-pub use remote::{shard, RemoteBackend, RemoteEvaluator, RemoteInfo, RetryPolicy};
+pub use remote::{
+    shard, shard_order, shard_weight, FleetStats, RemoteBackend, RemoteEvaluator, RemoteInfo,
+    RetryPolicy,
+};

@@ -3,24 +3,41 @@
 //!
 //! [`RemoteEvaluator`] implements [`Evaluate`] over a fleet of worker
 //! processes reached through a [`RemoteBackend`]. Each request is
-//! routed to worker `CacheKey::fingerprint % N` — the same stable
-//! FNV-1a fingerprint the [`crate::EvalCache`] keys on — so one
-//! pipeline always lands on one worker, and that worker's process-local
-//! cache converges to the shard of the evaluation space it owns.
+//! routed by rendezvous (highest-random-weight) hashing over
+//! `CacheKey::fingerprint` — the same stable FNV-1a fingerprint the
+//! [`crate::EvalCache`] keys on. Every `(fingerprint, slot)` pair gets
+//! a mixed 64-bit weight and the request goes to the live slot with the
+//! highest weight, so one pipeline always lands on one worker and that
+//! worker's process-local cache converges to the shard of the
+//! evaluation space it owns. Unlike `fingerprint % N`, resizing the
+//! fleet from `N` to `N+1` workers remaps only ~`1/(N+1)` of the keys
+//! (each key moves only if the new slot out-weighs its current owner),
+//! so warm worker caches survive a resize.
 //!
-//! # Failure conversion
+//! # Failover and failure conversion
 //!
-//! Transport faults (a dead worker, a timeout, a corrupt frame) are
-//! retried with bounded exponential backoff; when the retries are
-//! exhausted the error surfaces as [`EvalError::Transport`], which the
-//! search framework converts into the established worst-error-trial
-//! convention (accuracy 0, error 1, tagged
-//! [`crate::FailureKind::Transport`]). Searches therefore run their
-//! budgets to completion deterministically even with a worker down:
-//! routing is a pure function of the pipeline, so the same requests
-//! fail the same way on every rerun. Transport failures are never
-//! cached (see [`crate::EvalCache::insert`]) — a worker coming back
-//! must not be masked by a memoized worst-error trial.
+//! When a worker is unreachable the request walks down the key's
+//! rendezvous preference order ([`shard_order`]) to the next routable
+//! worker. Workers regenerate their datasets deterministically from the
+//! evaluation context, so *any* worker returns bit-identical trials —
+//! failover changes which process answers, never the answer. Per-worker
+//! transport faults are retried with bounded exponential backoff before
+//! moving on; only when every worker in the fleet has been exhausted
+//! does the error surface as [`EvalError::Transport`], which the search
+//! framework converts into the established worst-error-trial convention
+//! (accuracy 0, error 1, tagged [`crate::FailureKind::Transport`]).
+//! Searches therefore run their budgets to completion deterministically
+//! even with workers down: routing is a pure function of
+//! `(fingerprint, live-worker-set)`, so the same requests are served
+//! the same way on every rerun. Transport failures are never cached
+//! (see [`crate::EvalCache::insert`]) — a worker coming back must not
+//! be masked by a memoized worst-error trial.
+//!
+//! Backends may additionally report fleet health through the defaulted
+//! trait hooks ([`RemoteBackend::is_routable`] lets a circuit breaker
+//! route around a repeatedly failing worker without paying a dial;
+//! [`RemoteBackend::fleet_stats`] surfaces robustness counters). The
+//! hooks default to no-ops so simple backends stay simple.
 //!
 //! This module is transport-agnostic by design: `autofp-evald` provides
 //! the TCP and in-process loopback backends, keeping `autofp-core` free
@@ -34,15 +51,40 @@ use autofp_models::CancelToken;
 use autofp_preprocess::Pipeline;
 use std::time::Duration;
 
+/// Robustness counters a [`RemoteBackend`] accumulates over its life.
+///
+/// All counters are cumulative since backend construction; `epoch` and
+/// `workers` describe the fleet spec the backend currently routes over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetStats {
+    /// Fleet-spec epoch the backend last synchronized with.
+    pub epoch: u64,
+    /// Number of worker slots in the current fleet spec.
+    pub workers: u64,
+    /// Pooled connections that died and were transparently re-dialed.
+    pub reconnects: u64,
+    /// Same-worker transport retries (bounded backoff) performed.
+    pub retries: u64,
+    /// Requests served by a rendezvous successor instead of the
+    /// primary owner of the key.
+    pub failovers: u64,
+    /// Circuit-breaker transitions from closed to open.
+    pub circuit_opens: u64,
+    /// Dead workers respawned by the fleet supervisor.
+    pub respawns: u64,
+}
+
 /// What a worker reports about the evaluation context it serves:
 /// the dataset/model facts an [`Evaluate`] implementation must answer
-/// locally.
+/// locally, plus the fleet robustness counters at observation time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemoteInfo {
     /// Validation accuracy with no preprocessing (the no-FP baseline).
     pub baseline_accuracy: f64,
     /// Number of training rows the worker's evaluator fits on.
     pub train_rows: usize,
+    /// Fleet robustness counters (see [`FleetStats`]).
+    pub fleet: FleetStats,
 }
 
 /// Transport abstraction the [`RemoteEvaluator`] shards over.
@@ -53,8 +95,13 @@ pub struct RemoteInfo {
 /// fault to [`EvalError::Transport`] (the only retryable kind) and
 /// must be deterministic for a fixed fleet state: the same request to
 /// the same live worker returns the same trial bits.
+///
+/// The defaulted methods let richer backends (connection pools,
+/// circuit breakers, supervised fleets) feed routing decisions and
+/// robustness counters back to the evaluator without burdening simple
+/// backends.
 pub trait RemoteBackend: Send + Sync {
-    /// Number of workers in the fleet (fixed for the backend's life).
+    /// Number of worker slots in the fleet spec being routed over.
     fn workers(&self) -> usize;
 
     /// Evaluate `pipeline` at training-budget `fraction` on `worker`.
@@ -63,16 +110,44 @@ pub trait RemoteBackend: Send + Sync {
 
     /// Ask `worker` for the context facts (baseline, train rows).
     fn describe(&self, worker: usize) -> Result<RemoteInfo, EvalError>;
+
+    /// Epoch of the fleet spec the backend currently routes over.
+    /// Bumped by a supervisor on membership change.
+    fn epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether `worker` should be attempted right now. A circuit
+    /// breaker returns `false` while a worker's circuit is open (with
+    /// periodic half-open probes); the evaluator then routes the
+    /// request to the key's rendezvous successor instead.
+    fn is_routable(&self, _worker: usize) -> bool {
+        true
+    }
+
+    /// Observe a same-worker transport retry (for counters).
+    fn note_retry(&self, _worker: usize) {}
+
+    /// Observe a failover from `from` (the key's primary owner) to
+    /// `to` (a rendezvous successor) — for counters.
+    fn note_failover(&self, _from: usize, _to: usize) {}
+
+    /// Snapshot of the backend's robustness counters.
+    fn fleet_stats(&self) -> FleetStats {
+        FleetStats { workers: self.workers() as u64, ..FleetStats::default() }
+    }
 }
 
 /// Bounded retry-with-backoff policy for transport faults.
 ///
 /// Only [`EvalError::Transport`] is retried — every other failure kind
 /// is a deterministic property of the pipeline and retrying it would
-/// just repeat the failure.
+/// just repeat the failure. The policy bounds attempts *per worker*;
+/// after exhausting one worker the evaluator fails over to the key's
+/// rendezvous successor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// Total attempts per request (first try included); minimum 1.
+    /// Attempts per worker per request (first try included); min 1.
     pub attempts: u32,
     /// Sleep before the first retry; doubles after each further retry.
     pub backoff: Duration,
@@ -114,7 +189,8 @@ impl RemoteEvaluator {
         config: EvalConfig,
         retry: RetryPolicy,
     ) -> RemoteEvaluator {
-        let mut info = RemoteInfo { baseline_accuracy: 0.0, train_rows: 0 };
+        let mut info =
+            RemoteInfo { baseline_accuracy: 0.0, train_rows: 0, fleet: FleetStats::default() };
         for worker in 0..backend.workers() {
             if let Ok(described) = backend.describe(worker) {
                 info = described;
@@ -124,22 +200,99 @@ impl RemoteEvaluator {
         RemoteEvaluator { backend, config, retry, info }
     }
 
-    /// The worker index `pipeline` @ `fraction` routes to:
-    /// `CacheKey::fingerprint % workers`.
+    /// The worker index `pipeline` @ `fraction` prefers: the head of
+    /// the key's rendezvous order (see [`shard`]).
     pub fn shard_of(&self, pipeline: &Pipeline, fraction: f64) -> usize {
         let key = CacheKey::new(pipeline, fraction, &self.config);
         shard(key.fingerprint(), self.backend.workers())
     }
+
+    /// Context facts plus a live snapshot of the backend's fleet
+    /// robustness counters.
+    pub fn remote_info(&self) -> RemoteInfo {
+        RemoteInfo { fleet: self.backend.fleet_stats(), ..self.info }
+    }
+
+    /// Attempt one worker with the bounded per-worker retry policy.
+    fn try_worker(
+        &self,
+        worker: usize,
+        pipeline: &Pipeline,
+        fraction: f64,
+        cancel: &CancelToken,
+    ) -> Result<Trial, EvalError> {
+        let attempts = self.retry.attempts.max(1);
+        let mut delay = self.retry.backoff;
+        let mut last = EvalError::Transport { detail: "no attempt made".to_string() };
+        for attempt in 0..attempts {
+            if cancel.is_cancelled() {
+                return Err(EvalError::DeadlineExceeded);
+            }
+            match self.backend.evaluate(worker, pipeline, fraction) {
+                Ok(trial) => return Ok(trial),
+                Err(err @ EvalError::Transport { .. }) => {
+                    last = err;
+                    if attempt + 1 < attempts {
+                        self.backend.note_retry(worker);
+                        std::thread::sleep(delay);
+                        delay = delay.saturating_mul(2);
+                    }
+                }
+                // Every other kind is a deterministic verdict about the
+                // pipeline; pass it through untouched.
+                Err(err) => return Err(err),
+            }
+        }
+        Err(last)
+    }
 }
 
-/// Pure shard routing: `fingerprint % workers` (worker 0 for an empty
-/// fleet, so callers need no special case).
+/// splitmix64-style finalizer: the bit mixer behind rendezvous
+/// weights. Stable — changing it remaps every key on every fleet.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Rendezvous weight of worker slot `slot` for `fingerprint`. The
+/// request prefers slots in descending weight order. Pure and stable:
+/// the weight of a `(fingerprint, slot)` pair never changes, which is
+/// what bounds a resize to ~`1/N` remapped keys.
+pub fn shard_weight(fingerprint: u64, slot: usize) -> u64 {
+    mix64(fingerprint ^ mix64(slot as u64))
+}
+
+/// Pure shard routing: the slot with the highest rendezvous weight
+/// for `fingerprint` (worker 0 for an empty fleet, so callers need no
+/// special case).
+///
+/// Growing the fleet from `N` to `N+1` slots moves a key only if the
+/// new slot out-weighs all existing ones — an expected `1/(N+1)` of
+/// keys — and every moved key lands on the new slot; shrinking only
+/// redistributes the removed slot's keys.
 pub fn shard(fingerprint: u64, workers: usize) -> usize {
-    if workers == 0 {
-        0
-    } else {
-        (fingerprint % workers as u64) as usize
+    let mut best = 0usize;
+    let mut best_weight = 0u64;
+    for slot in 0..workers {
+        let weight = shard_weight(fingerprint, slot);
+        if slot == 0 || weight > best_weight {
+            best = slot;
+            best_weight = weight;
+        }
     }
+    best
+}
+
+/// All worker slots in descending rendezvous-weight order for
+/// `fingerprint`: the key's failover preference list. `shard` is the
+/// head; ties (vanishingly rare with 64-bit weights) break toward the
+/// lower slot index so the order is total and deterministic.
+pub fn shard_order(fingerprint: u64, workers: usize) -> Vec<usize> {
+    let mut slots: Vec<usize> = (0..workers).collect();
+    slots.sort_by_key(|&slot| (std::cmp::Reverse(shard_weight(fingerprint, slot)), slot));
+    slots
 }
 
 impl Evaluate for RemoteEvaluator {
@@ -149,24 +302,38 @@ impl Evaluate for RemoteEvaluator {
         fraction: f64,
         cancel: &CancelToken,
     ) -> Result<Trial, EvalError> {
-        let worker = self.shard_of(pipeline, fraction);
-        let mut delay = self.retry.backoff;
+        let key = CacheKey::new(pipeline, fraction, &self.config);
+        let order = shard_order(key.fingerprint(), self.backend.workers());
+        let primary = match order.first() {
+            Some(&p) => p,
+            None => return Err(EvalError::Transport { detail: "empty fleet".to_string() }),
+        };
         let mut last = EvalError::Transport { detail: "no attempt made".to_string() };
-        for attempt in 0..self.retry.attempts.max(1) {
+        let mut attempted_any = false;
+        for &worker in &order {
             if cancel.is_cancelled() {
                 return Err(EvalError::DeadlineExceeded);
             }
-            match self.backend.evaluate(worker, pipeline, fraction) {
+            if !self.backend.is_routable(worker) {
+                continue;
+            }
+            if worker != primary {
+                self.backend.note_failover(primary, worker);
+            }
+            attempted_any = true;
+            match self.try_worker(worker, pipeline, fraction, cancel) {
                 Ok(trial) => return Ok(trial),
-                Err(err @ EvalError::Transport { .. }) => {
-                    last = err;
-                    if attempt + 1 < self.retry.attempts.max(1) {
-                        std::thread::sleep(delay);
-                        delay = delay.saturating_mul(2);
-                    }
-                }
-                // Every other kind is a deterministic verdict about the
-                // pipeline; pass it through untouched.
+                Err(err @ EvalError::Transport { .. }) => last = err,
+                Err(err) => return Err(err),
+            }
+        }
+        if !attempted_any {
+            // Every circuit is open. Forcing the primary is the only
+            // way to learn whether the fleet recovered — and keeps the
+            // worst case deterministic (same worker on every rerun).
+            match self.try_worker(primary, pipeline, fraction, cancel) {
+                Ok(trial) => return Ok(trial),
+                Err(err @ EvalError::Transport { .. }) => last = err,
                 Err(err) => return Err(err),
             }
         }
@@ -200,13 +367,29 @@ mod tests {
     struct MockBackend {
         workers: usize,
         dead: Vec<usize>,
+        unroutable: Vec<usize>,
         calls: Mutex<Vec<usize>>,
         attempts: AtomicU64,
+        retries: AtomicU64,
+        failovers: AtomicU64,
     }
 
     impl MockBackend {
         fn new(workers: usize, dead: Vec<usize>) -> MockBackend {
-            MockBackend { workers, dead, calls: Mutex::new(Vec::new()), attempts: AtomicU64::new(0) }
+            MockBackend {
+                workers,
+                dead,
+                unroutable: Vec::new(),
+                calls: Mutex::new(Vec::new()),
+                attempts: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+            }
+        }
+
+        fn unroutable(mut self, slots: Vec<usize>) -> MockBackend {
+            self.unroutable = slots;
+            self
         }
     }
 
@@ -241,7 +424,23 @@ mod tests {
             if self.dead.contains(&worker) {
                 return Err(EvalError::Transport { detail: format!("worker {worker} is down") });
             }
-            Ok(RemoteInfo { baseline_accuracy: 0.61, train_rows: 80 + worker })
+            Ok(RemoteInfo {
+                baseline_accuracy: 0.61,
+                train_rows: 80 + worker,
+                fleet: FleetStats::default(),
+            })
+        }
+
+        fn is_routable(&self, worker: usize) -> bool {
+            !self.unroutable.contains(&worker)
+        }
+
+        fn note_retry(&self, _worker: usize) {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn note_failover(&self, _from: usize, _to: usize) {
+            self.failovers.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -250,7 +449,7 @@ mod tests {
     }
 
     #[test]
-    fn routing_is_fingerprint_mod_workers() {
+    fn routing_is_rendezvous_over_fingerprint() {
         let ev = RemoteEvaluator::with_retry(
             Box::new(MockBackend::new(4, vec![])),
             EvalConfig::default(),
@@ -259,12 +458,57 @@ mod tests {
         for kind in PreprocKind::ALL {
             let p = Pipeline::from_kinds(&[kind]);
             let key = CacheKey::new(&p, 1.0, &EvalConfig::default());
-            assert_eq!(ev.shard_of(&p, 1.0), (key.fingerprint() % 4) as usize);
+            let expect_shard = shard(key.fingerprint(), 4);
+            assert_eq!(ev.shard_of(&p, 1.0), expect_shard);
+            assert_eq!(shard_order(key.fingerprint(), 4)[0], expect_shard);
             // And the trial actually comes from that worker.
             let t = ev.try_evaluate(&p).expect("live worker");
-            let expect = 0.5 + ev.shard_of(&p, 1.0) as f64 / 100.0;
+            let expect = 0.5 + expect_shard as f64 / 100.0;
             assert_eq!(t.accuracy.to_bits(), expect.to_bits());
         }
+    }
+
+    #[test]
+    fn shard_order_is_a_permutation_headed_by_shard() {
+        for fp in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            for n in 1..6usize {
+                let order = shard_order(fp, n);
+                assert_eq!(order.len(), n);
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "must be a permutation");
+                assert_eq!(order[0], shard(fp, n));
+            }
+        }
+    }
+
+    #[test]
+    fn resize_remaps_about_one_over_n_and_only_onto_the_new_slot() {
+        // Rendezvous property: growing N -> N+1 moves a key iff the
+        // new slot out-weighs all old ones (expected 1/(N+1) of keys),
+        // and every moved key lands on the new slot.
+        let total = 10_000u64;
+        for (from, to) in [(2usize, 3usize), (4, 5)] {
+            let mut moved = 0u64;
+            for fp in 0..total {
+                let old = shard(fp, from);
+                let new = shard(fp, to);
+                if old != new {
+                    moved += 1;
+                    assert_eq!(new, to - 1, "moved keys must land on the new slot");
+                }
+            }
+            let frac = moved as f64 / total as f64;
+            let expect = 1.0 / to as f64;
+            assert!(
+                (frac - expect).abs() < 0.05,
+                "resize {from}->{to} remapped {frac:.3} of keys, expected ~{expect:.3}"
+            );
+        }
+        // The modulo scheme this replaces remaps ~all keys; make sure
+        // we are far away from that regime.
+        let moved_2_to_3 = (0..total).filter(|&fp| shard(fp, 2) != shard(fp, 3)).count();
+        assert!((moved_2_to_3 as f64 / total as f64) < 0.5);
     }
 
     #[test]
@@ -288,7 +532,52 @@ mod tests {
     }
 
     #[test]
-    fn transport_faults_retry_then_surface_as_worst_error() {
+    fn dead_primary_fails_over_to_rendezvous_successor() {
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
+        let key = CacheKey::new(&p, 1.0, &EvalConfig::default());
+        let order = shard_order(key.fingerprint(), 3);
+        let backend = Box::new(MockBackend::new(3, vec![order[0]]));
+        let ev = RemoteEvaluator::with_retry(backend, EvalConfig::default(), fast_retry());
+        let t = ev.try_evaluate(&p).expect("successor serves the request");
+        let expect = 0.5 + order[1] as f64 / 100.0;
+        assert_eq!(t.accuracy.to_bits(), expect.to_bits());
+        assert_eq!(t.failure, None, "failover must not surface a worst-error trial");
+    }
+
+    #[test]
+    fn open_circuit_primary_is_skipped_without_an_attempt() {
+        let p = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+        let key = CacheKey::new(&p, 1.0, &EvalConfig::default());
+        let order = shard_order(key.fingerprint(), 3);
+        let backend = MockBackend::new(3, vec![]).unroutable(vec![order[0]]);
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(backend),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        let t = ev.try_evaluate(&p).expect("successor serves the request");
+        let expect = 0.5 + order[1] as f64 / 100.0;
+        assert_eq!(t.accuracy.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn all_circuits_open_forces_the_primary() {
+        let p = Pipeline::from_kinds(&[PreprocKind::Normalizer]);
+        let key = CacheKey::new(&p, 1.0, &EvalConfig::default());
+        let primary = shard(key.fingerprint(), 2);
+        let backend = MockBackend::new(2, vec![]).unroutable(vec![0, 1]);
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(backend),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        let t = ev.try_evaluate(&p).expect("forced primary probe succeeds");
+        let expect = 0.5 + primary as f64 / 100.0;
+        assert_eq!(t.accuracy.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn transport_faults_exhaust_the_fleet_then_surface_as_worst_error() {
         let backend = Box::new(MockBackend::new(1, vec![0]));
         let ev = RemoteEvaluator::with_retry(backend, EvalConfig::default(), fast_retry());
         let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler]);
@@ -297,6 +586,12 @@ mod tests {
         let t = evaluate_or_worst(&ev, &p, 1.0, &CancelToken::new());
         assert_eq!(t.error, 1.0);
         assert_eq!(t.failure, Some(FailureKind::Transport));
+
+        // With the whole fleet dead every worker is tried (attempts x
+        // workers calls), then the transport error surfaces.
+        let dead = MockBackend::new(2, vec![0, 1]);
+        let ev = RemoteEvaluator::with_retry(Box::new(dead), EvalConfig::default(), fast_retry());
+        assert!(matches!(ev.try_evaluate(&p).unwrap_err(), EvalError::Transport { .. }));
     }
 
     #[test]
@@ -311,7 +606,11 @@ mod tests {
                 Err(EvalError::TrainerDiverged { detail: "nan".into() })
             }
             fn describe(&self, _: usize) -> Result<RemoteInfo, EvalError> {
-                Ok(RemoteInfo { baseline_accuracy: 0.5, train_rows: 1 })
+                Ok(RemoteInfo {
+                    baseline_accuracy: 0.5,
+                    train_rows: 1,
+                    fleet: FleetStats::default(),
+                })
             }
         }
         // Non-transport errors pass through on the first attempt.
@@ -325,7 +624,8 @@ mod tests {
         assert!(matches!(err, EvalError::TrainerDiverged { .. }));
         assert_eq!(calls.load(Ordering::Relaxed), 1, "non-transport errors must not retry");
 
-        // Transport errors retry exactly `attempts` times.
+        // Transport errors retry exactly `attempts` times per worker
+        // and note each retry through the backend hook.
         let dead = MockBackend::new(1, vec![0]);
         let ev = RemoteEvaluator::with_retry(
             Box::new(dead),
@@ -352,6 +652,13 @@ mod tests {
     fn shard_handles_empty_fleet() {
         assert_eq!(shard(12345, 0), 0);
         assert_eq!(shard(12345, 1), 0);
-        assert_eq!(shard(7, 3), 1);
+        assert!(shard_order(12345, 0).is_empty());
+        let ev = RemoteEvaluator::with_retry(
+            Box::new(MockBackend::new(0, vec![])),
+            EvalConfig::default(),
+            fast_retry(),
+        );
+        let err = ev.try_evaluate(&Pipeline::empty()).unwrap_err();
+        assert!(matches!(err, EvalError::Transport { .. }));
     }
 }

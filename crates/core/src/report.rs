@@ -8,6 +8,7 @@ use crate::cache::CacheStats;
 use crate::error::{FailureKind, FailureStats};
 use crate::framework::SearchOutcome;
 use crate::prefix::PrefixStats;
+use crate::remote::FleetStats;
 use std::fmt::Write as _;
 
 /// Render an outcome's trials as TSV (`index`, `pipeline`, `accuracy`,
@@ -191,6 +192,24 @@ pub fn matrix_stats_markdown(
             detail.join(", ")
         );
     }
+    out
+}
+
+/// Render the fleet robustness counters of a `--remote`/`--workers`
+/// run as a Markdown table (see [`FleetStats`]). Every counter is
+/// listed, including zero rows, so tables are diffable across runs; a
+/// healthy run shows all zeros below the `workers` row.
+pub fn fleet_stats_markdown(stats: &FleetStats) -> String {
+    let mut out = String::from("### Fleet robustness\n\n");
+    let _ = writeln!(out, "| metric | value |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| epoch | {} |", stats.epoch);
+    let _ = writeln!(out, "| workers | {} |", stats.workers);
+    let _ = writeln!(out, "| reconnects | {} |", stats.reconnects);
+    let _ = writeln!(out, "| retries | {} |", stats.retries);
+    let _ = writeln!(out, "| failovers | {} |", stats.failovers);
+    let _ = writeln!(out, "| circuit opens | {} |", stats.circuit_opens);
+    let _ = writeln!(out, "| respawns | {} |", stats.respawns);
     out
 }
 

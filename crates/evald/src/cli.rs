@@ -5,8 +5,9 @@
 //!   print `evald listening on <addr>` once bound, which supervisors
 //!   parse. The prefix-transform cache defaults to on at 256 MiB per
 //!   context; `--prefix-cache-bytes 0` turns it off.
-//! * `evald ping <addr>` / `evald stats <addr>` / `evald shutdown
-//!   <addr>` — operator utilities against a running worker.
+//! * `evald ping <addr>` / `evald health <addr>` / `evald stats
+//!   <addr>` / `evald shutdown <addr>` — operator utilities against a
+//!   running worker.
 
 use crate::client;
 use crate::launch::READY_PREFIX;
@@ -27,6 +28,7 @@ commands:
                                      prefix-transform cache, 0 = off,
                                      default 256 MiB)
   ping <addr>                        check a worker is alive
+  health <addr>                      print a worker's fleet epoch and load
   stats <addr>                       print a worker's cumulative counters
   shutdown <addr>                    ask a worker to exit
 ";
@@ -41,6 +43,11 @@ pub fn run(args: Vec<String>) -> i32 {
         Some("ping") => rpc(&args[1..], "ping", |addr| {
             client::ping(addr, RPC_TIMEOUT)?;
             println!("{addr}: alive");
+            Ok(())
+        }),
+        Some("health") => rpc(&args[1..], "health", |addr| {
+            let h = client::health(addr, RPC_TIMEOUT)?;
+            println!("{addr}: epoch={} served={} contexts={}", h.epoch, h.served, h.contexts);
             Ok(())
         }),
         Some("stats") => rpc(&args[1..], "stats", |addr| {
@@ -119,6 +126,13 @@ fn serve(args: &[String]) -> i32 {
     let service = Arc::new(WorkerService::with_caches(cache_cap, prefix_bytes));
     let server = match Server::bind(("127.0.0.1", port), service) {
         Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            eprintln!(
+                "evald: port {port} is already in use on 127.0.0.1 — pick another \
+                 --port or use 0 for an OS-assigned one"
+            );
+            return 1;
+        }
         Err(e) => {
             eprintln!("evald: bind 127.0.0.1:{port}: {e}");
             return 1;
@@ -175,6 +189,7 @@ mod tests {
         assert_eq!(run(argv(&["frobnicate"])), 2);
         assert_eq!(run(argv(&[])), 2);
         assert_eq!(run(argv(&["ping"])), 2);
+        assert_eq!(run(argv(&["health"])), 2);
         assert_eq!(run(argv(&["serve", "--port", "notanumber"])), 2);
         assert_eq!(run(argv(&["serve", "--cache-cap"])), 2);
         assert_eq!(run(argv(&["serve", "--prefix-cache-bytes"])), 2);
@@ -196,5 +211,13 @@ mod tests {
         };
         // Quick failure: connect to a closed port is immediate on loopback.
         assert_eq!(run(argv(&["ping", &addr])), 1);
+        assert_eq!(run(argv(&["health", &addr])), 1);
+    }
+
+    #[test]
+    fn serve_on_an_already_bound_port_exits_one() {
+        let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let port = holder.local_addr().expect("addr").port();
+        assert_eq!(run(argv(&["serve", "--port", &port.to_string()])), 1);
     }
 }

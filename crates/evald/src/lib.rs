@@ -19,25 +19,36 @@
 //!   built lazily from the dataset registry.
 //! * [`server`] — the TCP accept loop (`evald serve`), one thread per
 //!   connection, cooperative shutdown.
-//! * [`client`] — [`client::TcpBackend`] (connect-per-request with
-//!   timeouts) and [`client::LoopbackBackend`] (in-process transport
-//!   that still round-trips every byte through [`wire`]), both
-//!   implementing [`autofp_core::RemoteBackend`].
-//! * [`launch`] — spawning and supervising local worker processes
-//!   (used by the bench harness's `--workers N` flag and the
-//!   distributed test suite).
+//! * [`fleet`] — fleet membership ([`fleet::SharedFleetSpec`], the
+//!   epoch-stamped spec the supervisor publishes and every backend
+//!   routes over) and per-worker [`fleet::CircuitBreaker`]s.
+//! * [`client`] — [`client::TcpBackend`] (persistent pooled
+//!   connections with reconnect-on-failure and per-slot circuit
+//!   breakers, shared through [`client::TcpPool`]) and
+//!   [`client::LoopbackBackend`] (in-process transport that still
+//!   round-trips every byte through [`wire`]), both implementing
+//!   [`autofp_core::RemoteBackend`].
+//! * [`launch`] — spawning and supervising local worker processes:
+//!   [`launch::WorkerFleet`] (fixed fleet) and
+//!   [`launch::FleetSupervisor`] (health-checked respawn with capped
+//!   restarts and seeded-jitter backoff), used by the bench harness's
+//!   `--workers N` flag and the distributed test suite.
 //! * [`cli`] — the `evald` binary's command surface
-//!   (`serve`/`ping`/`stats`/`shutdown`).
+//!   (`serve`/`ping`/`health`/`stats`/`shutdown`).
 
 pub mod cli;
 pub mod client;
+pub mod fleet;
 pub mod launch;
 pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{ping, shutdown, stats, LoopbackBackend, TcpBackend};
-pub use launch::{spawn_worker, Worker, WorkerFleet};
+pub use client::{
+    health, ping, set_fleet, shutdown, stats, HealthReport, LoopbackBackend, TcpBackend, TcpPool,
+};
+pub use fleet::{CircuitBreaker, SharedFleetSpec};
+pub use launch::{spawn_worker, FleetSupervisor, SupervisorConfig, Worker, WorkerFleet};
 pub use server::Server;
 pub use service::WorkerService;
-pub use wire::{EvalContext, Request, Response, WorkerStats};
+pub use wire::{EvalContext, FleetSpec, Request, Response, WorkerStats};

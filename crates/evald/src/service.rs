@@ -19,7 +19,7 @@
 //! it decoded frames from TCP, [`crate::client::LoopbackBackend`] feeds
 //! it the same frames in memory, and both get byte-identical responses.
 
-use crate::wire::{EvalContext, Request, Response, WorkerStats};
+use crate::wire::{EvalContext, FleetSpec, Request, Response, WorkerStats};
 use autofp_core::{EvalError, Evaluator, PrefixCache, SharedEvalCache, SharedPrefixCache};
 use autofp_data::spec_by_name;
 use std::collections::BTreeMap;
@@ -48,6 +48,9 @@ pub struct WorkerService {
     contexts: Mutex<BTreeMap<String, Arc<ContextState>>>,
     /// Evaluation requests handled (cache hits included).
     served: AtomicU64,
+    /// The fleet spec this worker last adopted (epoch 0, empty until a
+    /// supervisor publishes one via [`Request::SetFleet`]).
+    fleet: Mutex<FleetSpec>,
 }
 
 impl WorkerService {
@@ -75,7 +78,24 @@ impl WorkerService {
             prefix_bytes: prefix_bytes.filter(|&b| b > 0),
             contexts: Mutex::new(BTreeMap::new()),
             served: AtomicU64::new(0),
+            fleet: Mutex::new(FleetSpec::default()),
         }
+    }
+
+    /// The fleet spec this worker currently holds.
+    pub fn fleet(&self) -> FleetSpec {
+        self.fleet.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Adopt `spec` unless it is older than the one held (epochs are
+    /// monotonic; a slow supervisor must not roll the fleet back).
+    /// Returns the epoch held afterwards.
+    fn adopt_fleet(&self, spec: &FleetSpec) -> u64 {
+        let mut held = self.fleet.lock().unwrap_or_else(PoisonError::into_inner);
+        if spec.epoch >= held.epoch {
+            *held = spec.clone();
+        }
+        held.epoch
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<ContextState>>> {
@@ -154,6 +174,17 @@ impl WorkerService {
         match req {
             Request::Ping | Request::Shutdown => Response::Pong,
             Request::Stats => Response::Stats(self.stats()),
+            Request::Health => {
+                let map = self.lock();
+                let contexts = map.len() as u64;
+                drop(map);
+                Response::Health {
+                    epoch: self.fleet.lock().unwrap_or_else(PoisonError::into_inner).epoch,
+                    served: self.served.load(Ordering::Relaxed),
+                    contexts,
+                }
+            }
+            Request::SetFleet(spec) => Response::FleetAck { epoch: self.adopt_fleet(spec) },
             Request::Describe(ctx) => match self.context(ctx) {
                 Ok(state) => Response::Described {
                     baseline_accuracy: state.evaluator.baseline_accuracy(),
@@ -321,6 +352,41 @@ mod tests {
             assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "{kinds:?}");
             assert_eq!(a.error.to_bits(), b.error.to_bits(), "{kinds:?}");
         }
+    }
+
+    #[test]
+    fn health_reports_epoch_served_and_contexts() {
+        let svc = WorkerService::new();
+        let resp = svc.handle(&Request::Health);
+        assert_eq!(resp, Response::Health { epoch: 0, served: 0, contexts: 0 });
+        let _ = svc.handle(&Request::Eval {
+            ctx: ctx(),
+            pipeline: Pipeline::empty(),
+            fraction: 1.0,
+        });
+        let resp = svc.handle(&Request::Health);
+        assert_eq!(resp, Response::Health { epoch: 0, served: 1, contexts: 1 });
+    }
+
+    #[test]
+    fn set_fleet_adopts_newer_specs_and_rejects_stale_ones() {
+        let svc = WorkerService::new();
+        let fresh = FleetSpec { epoch: 3, addrs: vec!["a:1".into(), "b:2".into()] };
+        assert_eq!(svc.handle(&Request::SetFleet(fresh.clone())), Response::FleetAck { epoch: 3 });
+        assert_eq!(svc.fleet(), fresh);
+
+        // A stale publish is acked with the held (higher) epoch and
+        // does not roll the spec back.
+        let stale = FleetSpec { epoch: 2, addrs: vec!["c:3".into()] };
+        assert_eq!(svc.handle(&Request::SetFleet(stale)), Response::FleetAck { epoch: 3 });
+        assert_eq!(svc.fleet(), fresh);
+
+        // Same-epoch republish is idempotent; newer wins.
+        let newer = FleetSpec { epoch: 4, addrs: vec!["d:4".into()] };
+        assert_eq!(svc.handle(&Request::SetFleet(newer.clone())), Response::FleetAck { epoch: 4 });
+        assert_eq!(svc.fleet(), newer);
+        let resp = svc.handle(&Request::Health);
+        assert_eq!(resp, Response::Health { epoch: 4, served: 0, contexts: 0 });
     }
 
     #[test]

@@ -54,22 +54,27 @@ impl Violation {
 }
 
 /// Evaluation hot-path modules where panicking constructs are banned.
-/// `core/remote.rs` and `evald/wire.rs` sit on the distributed eval
-/// path: a panic there takes out a worker or a whole search, and the
-/// wire decoder in particular faces untrusted bytes.
-const HOT_PATH: [&str; 6] = [
+/// `core/remote.rs` and the evald client/fleet/launch/wire modules sit
+/// on the distributed eval path: a panic there takes out a worker, a
+/// supervisor, or a whole search; the wire decoder in particular faces
+/// untrusted bytes, and the client/supervisor must degrade dead
+/// workers to failover or worst-error trials, never to a crash.
+const HOT_PATH: [&str; 9] = [
     "crates/core/src/batch.rs",
     "crates/core/src/evaluator.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/prefix.rs",
     "crates/core/src/remote.rs",
     "crates/evald/src/wire.rs",
+    "crates/evald/src/client.rs",
+    "crates/evald/src/fleet.rs",
+    "crates/evald/src/launch.rs",
 ];
 const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/src/"];
 
 /// Modules whose outputs feed `History`, reports, or cache keys: hash
 /// containers (nondeterministic iteration order) need justification.
-const DET_CRITICAL: [&str; 9] = [
+const DET_CRITICAL: [&str; 11] = [
     "crates/core/src/history.rs",
     "crates/core/src/report.rs",
     "crates/core/src/cache.rs",
@@ -79,6 +84,8 @@ const DET_CRITICAL: [&str; 9] = [
     "crates/core/src/batch.rs",
     "crates/core/src/framework.rs",
     "crates/evald/src/service.rs",
+    "crates/evald/src/fleet.rs",
+    "crates/evald/src/launch.rs",
 ];
 
 /// Cache-identity regions: (file, block introducer). The rule applies

@@ -93,6 +93,38 @@ fn missing_csv_fails_cleanly() {
     assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
+fn evald(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_evald")).args(args).output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn evald_serve_on_an_already_bound_port_fails_with_a_clear_error() {
+    let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let port = holder.local_addr().expect("addr").port();
+    let (_, stderr, code) = evald(&["serve", "--port", &port.to_string()]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("already in use"), "{stderr}");
+    assert!(stderr.contains(&port.to_string()), "{stderr}");
+}
+
+#[test]
+fn evald_rejects_bad_usage_with_exit_two() {
+    let (_, stderr, code) = evald(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown command"), "{stderr}");
+    let (_, stderr, code) = evald(&["health"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("needs a worker address"), "{stderr}");
+    let (_, stderr, code) = evald(&["serve", "--port", "notaport"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--port"), "{stderr}");
+}
+
 #[test]
 fn meta_flag_prints_forty_features() {
     let mut csv = String::from("a,b,c,label\n");
