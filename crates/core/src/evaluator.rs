@@ -277,6 +277,7 @@ impl Evaluator {
         };
         for (i, step) in pipeline.steps().iter().enumerate().skip(start) {
             // lint:allow(nondet): per-prefix cost attribution feeds CacheStats-style `saved` accounting, never a search decision
+            // lint:allow(nondet-flow): reachable from search, but the reading only feeds cost accounting, never scores or proposals
             let step_start = Instant::now();
             let fitted = step.fit_transform(&mut train);
             fitted.transform(&mut valid);
@@ -337,6 +338,7 @@ impl Evaluate for Evaluator {
         // `prep_time` records only the suffix work actually done (the
         // skipped share is tracked in `PrefixStats::saved`).
         // lint:allow(nondet): Prep-phase attribution (Figure 7) measures time; it never feeds a search decision
+        // lint:allow(nondet-flow): reachable from search, but prep_time is reporting-only; scores stay a pure function of the data
         let prep_start = Instant::now();
         let (train_x, valid_x) = match &self.prefix_cache {
             Some(cache) if !pipeline.is_empty() => self.prefix_transform(pipeline, cache),

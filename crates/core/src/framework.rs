@@ -133,6 +133,7 @@ impl<'a> SearchContext<'a> {
         };
         self.clock.note_eval(fraction);
         // lint:allow(nondet): Pick-phase attribution measures algorithm overhead; it never feeds a search decision
+        // lint:allow(nondet-flow): reachable from search, but last_eval_end only times the Pick phase for stats output
         self.last_eval_end = Instant::now();
         self.history.push(trial.clone());
         Some(trial)
@@ -181,6 +182,7 @@ impl<'a> SearchContext<'a> {
             self.history.push(trial.clone());
         }
         // lint:allow(nondet): Pick-phase attribution measures algorithm overhead; it never feeds a search decision
+        // lint:allow(nondet-flow): reachable from search, but last_eval_end only times the Pick phase for stats output
         self.last_eval_end = Instant::now();
         Some(trials)
     }

@@ -300,12 +300,12 @@ impl FleetSupervisor {
     /// membership changed. Returns the number of workers respawned.
     pub fn supervise_once(&mut self) -> usize {
         let mut respawned = 0usize;
-        for i in 0..self.slots.len() {
-            let addr = self.slots[i].worker.addr().to_string();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            let addr = slot.worker.addr().to_string();
             if client::ping(&addr, self.config.ping_timeout).is_ok() {
                 continue;
             }
-            let restarts = self.slots[i].restarts;
+            let restarts = slot.restarts;
             if restarts >= self.config.max_restarts {
                 continue;
             }
@@ -319,8 +319,8 @@ impl FleetSupervisor {
                 // Replacing the Worker drops (and reaps) the dead
                 // child; the slot index — the routing identity —
                 // is preserved.
-                self.slots[i].worker = worker;
-                self.slots[i].restarts = restarts + 1;
+                slot.worker = worker;
+                slot.restarts = restarts + 1;
                 respawned += 1;
             }
         }

@@ -105,7 +105,24 @@ impl WorkerService {
         self.contexts.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Fast path: an already-materialized context. A single lock
+    /// acquisition on a temporary guard — nothing is held on return.
+    fn cached(&self, key: &str) -> Option<Arc<ContextState>> {
+        self.lock().get(key).map(Arc::clone)
+    }
+
+    /// Publish `state` under `key`. A racing duplicate build loses the
+    /// race and the first insert wins (the contents are identical
+    /// either way). Single lock acquisition.
+    fn intern(&self, key: String, state: Arc<ContextState>) -> Arc<ContextState> {
+        let mut map = self.lock();
+        Arc::clone(map.entry(key).or_insert_with(|| state))
+    }
+
     /// The materialized state for `ctx`, building it on first use.
+    /// Lookup and publish are separate single-acquisition helpers so
+    /// no lock is held across the expensive build (and so the
+    /// lock-order rule can see each acquisition stands alone).
     fn context(&self, ctx: &EvalContext) -> Result<Arc<ContextState>, EvalError> {
         if !(ctx.scale > 0.0 && ctx.scale <= 1.0) {
             return Err(EvalError::Transport {
@@ -113,8 +130,8 @@ impl WorkerService {
             });
         }
         let key = ctx.canonical();
-        if let Some(state) = self.lock().get(&key) {
-            return Ok(Arc::clone(state));
+        if let Some(state) = self.cached(&key) {
+            return Ok(state);
         }
         let spec = spec_by_name(&ctx.dataset).ok_or_else(|| EvalError::Transport {
             detail: format!("unknown dataset `{}`", ctx.dataset),
@@ -133,9 +150,7 @@ impl WorkerService {
             None => SharedEvalCache::new(),
         };
         let state = Arc::new(ContextState { evaluator, cache });
-        let mut map = self.lock();
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&state));
-        Ok(Arc::clone(entry))
+        Ok(self.intern(key, state))
     }
 
     /// Cumulative counters: requests served, contexts built, and every

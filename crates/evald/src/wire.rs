@@ -223,6 +223,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, EvalError> {
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
     while got < 4 {
+        // lint:allow(panic-reach): `got < 4` loop guard bounds the range start within the 4-byte array
         match r.read(&mut len_buf[got..]) {
             Ok(0) if got == 0 => return Ok(None),
             Ok(0) => return Err(transport("connection closed inside a frame length")),
@@ -297,6 +298,7 @@ impl<'a> Dec<'a> {
             .checked_add(n)
             .filter(|&end| end <= self.buf.len())
             .ok_or_else(|| transport(format!("truncated frame reading {what}")))?;
+        // lint:allow(panic-reach): checked_add + `end <= buf.len()` above make the range provably in bounds
         let slice = &self.buf[self.pos..end];
         self.pos = end;
         Ok(slice)

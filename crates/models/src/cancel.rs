@@ -56,6 +56,7 @@ impl CancelToken {
         }
         match self.inner.deadline {
             // lint:allow(nondet): deadline polling is the cooperative-cancellation mechanism a wall-clock budget arms
+            // lint:allow(nondet-flow): the documented determinism escape — a deadline only fires when the wall-clock budget is exhausted and the trial is abandoned as Deadline
             Some(deadline) if Instant::now() >= deadline => {
                 // Latch, so later checks skip the clock read.
                 self.inner.cancelled.store(true, Ordering::Release);

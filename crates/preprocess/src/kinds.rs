@@ -36,12 +36,19 @@ impl PreprocKind {
         PreprocKind::StandardScaler,
     ];
 
-    /// Canonical index in `ALL` (used by encodings and policies).
+    /// Canonical index in `ALL` (used by encodings and policies). The
+    /// match is total, so it can never disagree with `ALL` without a
+    /// compile error here or in the roundtrip unit test.
     pub fn index(self) -> usize {
-        // Invariant: `ALL` enumerates every variant of this enum, so
-        // the position always exists (a unit test walks all kinds).
-        // lint:allow(panic-boundary): ALL covers every variant by construction; a unit test walks all kinds
-        Self::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+        match self {
+            PreprocKind::Binarizer => 0,
+            PreprocKind::MaxAbsScaler => 1,
+            PreprocKind::MinMaxScaler => 2,
+            PreprocKind::Normalizer => 3,
+            PreprocKind::PowerTransformer => 4,
+            PreprocKind::QuantileTransformer => 5,
+            PreprocKind::StandardScaler => 6,
+        }
     }
 
     /// Inverse of [`PreprocKind::index`].

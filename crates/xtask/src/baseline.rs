@@ -82,6 +82,7 @@ mod tests {
             line: 1,
             message: String::new(),
             excerpt: excerpt.to_string(),
+            chain: Vec::new(),
         }
     }
 

@@ -1,26 +1,42 @@
 //! `xtask` — in-repo static analysis for the Auto-FP workspace.
 //!
 //! Run as `cargo run -p xtask -- lint` (see `main.rs` for the CLI).
-//! The library surface exists so the fixture suite in `tests/` can
-//! drive the rule engine on synthetic sources.
+//! The library surface exists so the fixture suites in `tests/` can
+//! drive the engine on synthetic sources.
 //!
 //! Why an in-repo tool instead of clippy: the rules encode *this*
 //! repository's invariants — where wall-clock reads are allowed, which
 //! modules form the panic-shielded evaluation hot path, what counts as
-//! cache-identity code. Clippy has no vocabulary for any of that, and
-//! the offline build environment rules out external lint frameworks
-//! (dylint, custom rustc drivers). The scanner underneath is a ~300
-//! line lexer that blanks comments and string literals; that is enough
-//! for token-level rules to be exact, with `lint:allow` tags as the
-//! escape hatch for the (audited, justified) exceptions.
+//! cache-identity code, which entry points must never transitively
+//! reach a panic. Clippy has no vocabulary for any of that, and the
+//! offline build environment rules out external lint frameworks
+//! (dylint, custom rustc drivers).
+//!
+//! Pipeline (each stage a module):
+//!
+//! 1. [`scanner`] — blank comments/strings, extract `lint:allow` tags
+//!    and test spans (per file);
+//! 2. [`rules`] — line-local rule families (nan-ord, nondet,
+//!    panic-boundary, cache-purity);
+//! 3. [`index`] — workspace item index: every `fn` with its body span
+//!    and `impl`/`trait` owner;
+//! 4. [`graph`] — call-graph via name-resolution-lite, plus lock
+//!    acquisition events;
+//! 5. [`graphrules`] — cross-file families (panic-reach, nondet-flow,
+//!    lock-order) whose findings carry full call-chain traces;
+//! 6. [`baseline`] — checked-in suppression for incremental adoption.
 
 pub mod baseline;
+pub mod graph;
+pub mod graphrules;
+pub mod index;
 pub mod rules;
 pub mod scanner;
 pub mod walk;
 
 use baseline::Baseline;
 use rules::Violation;
+use scanner::CleanSource;
 use std::path::Path;
 
 /// Outcome of linting a whole workspace.
@@ -34,15 +50,53 @@ pub struct LintReport {
     pub files: usize,
 }
 
+/// Run the full engine — line-local rules, then the cross-file graph
+/// rules over the item index and call graph — on a set of sources
+/// (repo-relative path, file text). This is the whole pipeline as a
+/// pure function, which is what the fixture suites drive directly.
+pub fn lint_sources(sources: &[(String, String)]) -> Vec<Violation> {
+    let scanned: Vec<(String, CleanSource)> =
+        sources.iter().map(|(p, s)| (p.clone(), scanner::scan(s))).collect();
+
+    let mut raw: Vec<Violation> = Vec::new();
+    for (path, src) in &scanned {
+        rules::collect_local(path, src, &mut raw);
+    }
+
+    let ix = index::Index::build(&scanned);
+    let g = graph::Graph::build(&ix);
+    graphrules::panic_reach(&ix, &g, &mut raw);
+    graphrules::nondet_flow(&ix, &g, &mut raw);
+    graphrules::lock_order(&ix, &g, &mut raw);
+
+    // Justification tags are line-local, so apply them per file.
+    // Graph rules only attribute findings to scanned files, so every
+    // path groups back to its own scan.
+    let mut by_path: std::collections::BTreeMap<String, Vec<Violation>> = Default::default();
+    for v in raw {
+        by_path.entry(v.path.clone()).or_default().push(v);
+    }
+    let mut out: Vec<Violation> = Vec::new();
+    for (path, src) in &scanned {
+        let mine = by_path.remove(path).unwrap_or_default();
+        rules::apply_allows(path, src, mine, &mut out);
+    }
+    out.sort_by(|a, b| {
+        a.path.cmp(&b.path).then_with(|| a.line.cmp(&b.line)).then_with(|| a.rule.cmp(b.rule))
+    });
+    out
+}
+
 /// Lint every workspace source file under `root`. `baseline` is the
 /// parsed baseline to subtract; pass an empty one for `--strict`.
 pub fn lint_workspace(root: &Path, baseline: &Baseline) -> std::io::Result<LintReport> {
     let files = walk::lintable_files(root)?;
-    let mut all = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let source = std::fs::read_to_string(root.join(rel))?;
-        all.extend(rules::lint_file(&walk::display_path(rel), &source));
+        sources.push((walk::display_path(rel), source));
     }
+    let all = lint_sources(&sources);
     let (fresh, baselined) = baseline.partition(all);
     Ok(LintReport { fresh, baselined, files: files.len() })
 }

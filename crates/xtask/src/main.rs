@@ -4,6 +4,7 @@
 //! cargo run -p xtask -- lint                  # baseline-aware gate
 //! cargo run -p xtask -- lint --strict         # ignore the baseline (CI)
 //! cargo run -p xtask -- lint --write-baseline # regenerate the baseline
+//! cargo run -p xtask -- lint --json           # machine-readable findings
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -18,12 +19,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut strict = false;
     let mut write_baseline = false;
+    let mut json = false;
     let mut command = None;
     for arg in &args {
         match arg.as_str() {
             "lint" if command.is_none() => command = Some("lint"),
             "--strict" => strict = true,
             "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
             "--help" | "-h" | "help" => {
                 print!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -83,6 +86,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if json {
+        println!("{}", render_json(&report.fresh));
+        return if report.fresh.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     for v in &report.fresh {
         println!("{}", v.render());
     }
@@ -101,12 +108,50 @@ fn main() -> ExitCode {
     }
 }
 
+/// Render findings as a JSON array (schema: rule, path, line, chain,
+/// excerpt). Hand-rolled — the workspace carries no serde dependency.
+fn render_json(violations: &[xtask::rules::Violation]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let chain: Vec<String> = v.chain.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+        out.push_str(&format!(
+            "\n  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"chain\": [{}], \
+             \"excerpt\": \"{}\"}}",
+            esc(v.rule),
+            esc(&v.path),
+            v.line,
+            chain.join(", "),
+            esc(&v.excerpt),
+        ));
+    }
+    out.push_str(if violations.is_empty() { "]" } else { "\n]" });
+    out
+}
+
 fn usage() -> String {
     "\
 xtask — in-repo static analysis for the Auto-FP workspace
 
 USAGE:
-    cargo run -p xtask -- lint [--strict] [--write-baseline]
+    cargo run -p xtask -- lint [--strict] [--write-baseline] [--json]
 
 RULES (justify exceptions with `// lint:allow(<rule>): <reason>`):
     nan-ord         no raw `partial_cmp` outside core::order
@@ -114,10 +159,44 @@ RULES (justify exceptions with `// lint:allow(<rule>): <reason>`):
                     RNG, no HashMap/HashSet in determinism-critical modules
     panic-boundary  no unwrap/expect/panic! in the evaluation hot path
     cache-purity    no interior mutability / clock / RNG in cache-identity code
+    panic-reach     hot-path entry points must not transitively reach
+                    unwrap/expect/panic!/fallible indexing (call-graph rule;
+                    findings carry the full call chain)
+    nondet-flow     wall-clock/unseeded-RNG taint must not reach
+                    determinism-critical roots except via core::budget
+    lock-order      no same-class Mutex re-acquisition, no pairwise
+                    lock-order inversions (transitive, via the call graph)
 
 FLAGS:
     --strict           ignore crates/xtask/lint.baseline (the CI gate)
     --write-baseline   regenerate the baseline from current findings
+    --json             emit findings as JSON (rule, path, line, chain, excerpt)
 "
     .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::render_json;
+    use xtask::rules::Violation;
+
+    #[test]
+    fn json_escapes_and_carries_the_chain() {
+        let v = Violation {
+            rule: "panic-reach",
+            path: "crates/a/src/one.rs".to_string(),
+            line: 7,
+            message: String::new(),
+            excerpt: "x.expect(\"boom\\n\")".to_string(),
+            chain: vec!["entry (crates/a/src/one.rs:1)".to_string()],
+        };
+        let json = render_json(std::slice::from_ref(&v));
+        assert_eq!(
+            json,
+            "[\n  {\"rule\": \"panic-reach\", \"path\": \"crates/a/src/one.rs\", \
+             \"line\": 7, \"chain\": [\"entry (crates/a/src/one.rs:1)\"], \
+             \"excerpt\": \"x.expect(\\\"boom\\\\n\\\")\"}\n]"
+        );
+        assert_eq!(render_json(&[]), "[]");
+    }
 }

@@ -1,7 +1,10 @@
-//! The repo-specific lint rules.
+//! The line-local lint rules, plus the allow-tag machinery every rule
+//! family (including the graph rules in [`crate::graphrules`]) shares.
 //!
-//! Four rule families guard the invariants the evaluation service rests
-//! on (see ARCHITECTURE.md "Static analysis & invariants"):
+//! Four line-local families guard the invariants the evaluation
+//! service rests on (see ARCHITECTURE.md "Static analysis &
+//! invariants"; the three call-graph families live in
+//! [`crate::graphrules`]):
 //!
 //! - **nan-ord** — float comparisons must use the total-order helpers
 //!   in `core::order`; a raw `partial_cmp` is one NaN away from a panic
@@ -17,13 +20,19 @@
 //!   `Pipeline::key`) is a pure function of its inputs: no interior
 //!   mutability, no clock, no RNG.
 //!
+//! The pipeline split: [`collect_local`] gathers raw line-local
+//! findings per file; the graph rules append theirs (attributed to
+//! sink/source/acquisition lines); [`apply_allows`] then applies the
+//! file's `lint:allow` tags to the combined set, so one suppression
+//! mechanism serves all seven families.
+//!
 //! A violating line can carry `// lint:allow(<rule>): <reason>` (same
 //! line, or a comment line directly above) with a non-empty reason.
 //! Malformed tags and tags that suppress nothing are violations too
 //! (`bad-tag`, `unused-allow`), so the justification record stays
 //! honest.
 
-use crate::scanner::{named_spans, scan, CleanSource};
+use crate::scanner::{named_spans, CleanSource};
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +47,9 @@ pub struct Violation {
     pub message: String,
     /// Trimmed cleaned source of the line (baseline matching key).
     pub excerpt: String,
+    /// For graph rules: the call chain from entry/root to this line,
+    /// as `name (path:line)` labels. Empty for line-local rules.
+    pub chain: Vec<String>,
 }
 
 impl Violation {
@@ -47,9 +59,16 @@ impl Violation {
         format!("{}|{}|{}", self.rule, self.path, self.excerpt)
     }
 
-    /// Human-readable report line.
+    /// Human-readable report line; graph rules append the call chain.
     pub fn render(&self) -> String {
-        format!("{}:{}: [{}] {} — `{}`", self.path, self.line, self.rule, self.message, self.excerpt)
+        let mut out = format!(
+            "{}:{}: [{}] {} — `{}`",
+            self.path, self.line, self.rule, self.message, self.excerpt
+        );
+        if !self.chain.is_empty() {
+            out.push_str(&format!("\n    chain: {}", self.chain.join(" -> ")));
+        }
+        out
     }
 }
 
@@ -100,16 +119,17 @@ const CACHE_PURITY_SPANS: [(&str, &str); 4] = [
 /// Panicking constructs banned on the hot path. `.unwrap()` is matched
 /// with its parens so `unwrap_or` / `unwrap_or_else` (total fallbacks)
 /// stay legal.
-const PANIC_TOKENS: [&str; 6] =
+pub(crate) const PANIC_TOKENS: [&str; 6] =
     [".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
 
 /// Wall-clock reads.
-const TIME_TOKENS: [&str; 3] = ["Instant::now", "SystemTime::now", "UNIX_EPOCH"];
+pub(crate) const TIME_TOKENS: [&str; 3] = ["Instant::now", "SystemTime::now", "UNIX_EPOCH"];
 
 /// Unseeded / OS-entropy RNG constructions. The vendored `rand` shim
 /// only offers `seed_from_u64`, so these also guard against someone
 /// widening the shim.
-const UNSEEDED_RNG_TOKENS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+pub(crate) const UNSEEDED_RNG_TOKENS: [&str; 4] =
+    ["thread_rng", "from_entropy", "OsRng", "getrandom"];
 
 /// Interior mutability, clocks, RNG, and unstable hashers — none of
 /// which belong in a pure cache-identity computation.
@@ -133,7 +153,7 @@ const CACHE_IMPURE_TOKENS: [&str; 17] = [
     "thread_rng",
 ];
 
-fn is_bench(path: &str) -> bool {
+pub(crate) fn is_bench(path: &str) -> bool {
     path.starts_with("crates/bench/")
 }
 
@@ -143,7 +163,7 @@ fn in_hot_path(path: &str) -> bool {
 
 /// Substring search requiring identifier boundaries wherever the token
 /// itself starts/ends with an identifier character.
-fn has_token(line: &str, token: &str) -> bool {
+pub(crate) fn has_token(line: &str, token: &str) -> bool {
     let bytes = line.as_bytes();
     let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
     let head_ident = token.bytes().next().is_some_and(is_ident);
@@ -162,22 +182,34 @@ fn has_token(line: &str, token: &str) -> bool {
     false
 }
 
-/// Run every rule over one file. `path` must be repo-relative with
-/// forward slashes; `source` is the file's text.
+/// Run the full engine (line-local *and* graph rules) over one file.
+/// `path` must be repo-relative with forward slashes; `source` is the
+/// file's text. Single-file convenience wrapper over
+/// [`crate::lint_sources`].
 pub fn lint_file(path: &str, source: &str) -> Vec<Violation> {
-    let src = scan(source);
-    let mut raw: Vec<Violation> = Vec::new();
+    crate::lint_sources(&[(path.to_string(), source.to_string())])
+}
 
-    collect_nan_ord(path, &src, &mut raw);
-    collect_nondet(path, &src, &mut raw);
-    collect_panic_boundary(path, &src, &mut raw);
-    collect_cache_purity(path, &src, &mut raw);
+/// Run the line-local rule collectors over one scanned file.
+pub(crate) fn collect_local(path: &str, src: &CleanSource, out: &mut Vec<Violation>) {
+    collect_nan_ord(path, src, out);
+    collect_nondet(path, src, out);
+    collect_panic_boundary(path, src, out);
+    collect_cache_purity(path, src, out);
+}
 
-    // Apply justification tags: a well-formed allow suppresses every
-    // finding of its rule on its target line, and must suppress at
-    // least one to be considered used.
+/// Apply one file's justification tags to its raw findings: a
+/// well-formed allow suppresses every finding of its rule on its target
+/// line, and must suppress at least one to be considered used.
+/// Malformed tags (`bad-tag`) and stale tags (`unused-allow`) are
+/// appended as violations of their own.
+pub(crate) fn apply_allows(
+    path: &str,
+    src: &CleanSource,
+    raw: Vec<Violation>,
+    out: &mut Vec<Violation>,
+) {
     let mut used = vec![false; src.allows.len()];
-    let mut violations: Vec<Violation> = Vec::new();
     for v in raw {
         let mut suppressed = false;
         for (i, allow) in src.allows.iter().enumerate() {
@@ -187,21 +219,22 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Violation> {
             }
         }
         if !suppressed {
-            violations.push(v);
+            out.push(v);
         }
     }
     for bad in &src.bad_tags {
-        violations.push(Violation {
+        out.push(Violation {
             rule: "bad-tag",
             path: path.to_string(),
             line: bad.line,
             message: bad.message.clone(),
-            excerpt: excerpt(&src, bad.line),
+            excerpt: excerpt(src, bad.line),
+            chain: Vec::new(),
         });
     }
     for (allow, used) in src.allows.iter().zip(&used) {
         if !used {
-            violations.push(Violation {
+            out.push(Violation {
                 rule: "unused-allow",
                 path: path.to_string(),
                 line: allow.line,
@@ -209,12 +242,11 @@ pub fn lint_file(path: &str, source: &str) -> Vec<Violation> {
                     "lint:allow({}) suppresses nothing on line {} — remove the stale tag",
                     allow.rule, allow.target
                 ),
-                excerpt: excerpt(&src, allow.line),
+                excerpt: excerpt(src, allow.line),
+                chain: Vec::new(),
             });
         }
     }
-    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
-    violations
 }
 
 fn excerpt(src: &CleanSource, line: usize) -> String {
@@ -235,6 +267,7 @@ fn push(
         line,
         message,
         excerpt: excerpt(src, line),
+        chain: Vec::new(),
     });
 }
 

@@ -47,7 +47,15 @@ pub struct CleanSource {
 }
 
 /// Rule names a `lint:allow` tag may reference.
-pub const ALLOWABLE_RULES: [&str; 4] = ["nan-ord", "nondet", "panic-boundary", "cache-purity"];
+pub const ALLOWABLE_RULES: [&str; 7] = [
+    "nan-ord",
+    "nondet",
+    "panic-boundary",
+    "cache-purity",
+    "panic-reach",
+    "nondet-flow",
+    "lock-order",
+];
 
 #[derive(Debug)]
 struct Comment {
@@ -300,7 +308,7 @@ fn attribute_spans(cleaned: &str, attr: &str) -> Vec<(usize, usize)> {
 
 /// Index of the `}` closing the `{` at `open` (cleaned text, so braces
 /// inside strings and comments are already gone).
-fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
+pub(crate) fn matching_brace(bytes: &[u8], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     for (off, &b) in bytes.iter().enumerate().skip(open) {
         match b {

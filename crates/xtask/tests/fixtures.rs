@@ -230,6 +230,7 @@ impl CacheKey {
     pub fn new() -> u64 {
         // lint:allow(cache-purity): fixture — proves the tag machinery, not a real site
         // lint:allow(nondet): fixture — same line trips the workspace time rule too
+        // lint:allow(nondet-flow): fixture — CacheKey fns are taint roots, so the graph rule fires here too
         let t = std::time::Instant::now();
         0
     }
@@ -299,4 +300,302 @@ fn workspace_is_lint_clean_without_baseline() {
         "workspace has lint violations:\n{}",
         rendered.join("\n")
     );
+}
+
+// ------------------------------------------------- scanner regressions
+
+/// Raw strings with hash delimiters, nested block comments, and their
+/// interactions. Each case seeds an `unwrap` *inside* the masked
+/// region and real code after it: the rule token must survive only in
+/// the code half.
+mod scanner_regressions {
+    use xtask::scanner::scan;
+
+    #[test]
+    fn raw_string_hash_interior_is_blanked() {
+        let s = scan("let a = r#\"x.unwrap()\"#; let b = y.unwrap();\n");
+        assert!(!s.lines[0][..24].contains("unwrap"), "raw interior blanked");
+        assert!(s.lines[0].contains("let b = y.unwrap();"), "code after raw string intact");
+    }
+
+    #[test]
+    fn two_hash_raw_string_ignores_single_hash_closer() {
+        // Delimiter is two hashes; an interior `"#` must NOT close it.
+        let s = scan("let a = r##\"end\"# not yet\"##; let b = y.unwrap();\n");
+        assert!(!s.lines[0].contains("not yet"));
+        assert!(s.lines[0].contains("let b = y.unwrap();"));
+    }
+
+    #[test]
+    fn byte_raw_string_is_masked() {
+        let s = scan("let a = br#\"x.unwrap()\"#; let b = y.unwrap();\n");
+        assert!(!s.lines[0][..25].contains("unwrap"));
+        assert!(s.lines[0].contains("let b = y.unwrap();"));
+    }
+
+    #[test]
+    fn multiline_raw_string_blanks_interior_lines() {
+        let s = scan("let a = r#\"line one\nx.unwrap()\nlast\"#;\nlet b = y.unwrap();\n");
+        assert!(!s.lines[1].contains("unwrap"), "raw interior line blanked");
+        assert!(s.lines[3].contains("let b = y.unwrap();"));
+    }
+
+    #[test]
+    fn string_containing_comment_markers_stays_a_string() {
+        let s = scan("let s = \"/* not a comment\"; let t = y.unwrap(); let u = \"*/\";\n");
+        assert!(s.lines[0].contains("let t = y.unwrap();"), "code between strings stays code");
+    }
+
+    #[test]
+    fn block_comment_closes_at_terminator_even_inside_quotes() {
+        // rustc closes a block comment at the first `*/`, quotes or not.
+        let s = scan("/* \"*/ let x = y.unwrap();\n");
+        assert!(s.lines[0].contains("let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let s = scan("/* outer /* \"inner\" */ tail */ let x = y.unwrap();\n");
+        assert!(s.lines[0].contains("let x = y.unwrap();"));
+    }
+
+    #[test]
+    fn string_with_open_marker_then_real_nested_comment() {
+        let s =
+            scan("let s = \"a /* b\"; /* real /* nested */ comment */ let c = y.unwrap();\n");
+        assert!(s.lines[0].contains("let c = y.unwrap();"));
+        assert!(!s.lines[0].contains("real"));
+    }
+
+    #[test]
+    fn char_literals_do_not_start_raw_strings() {
+        let s = scan("let a = 'r'; let h = '#'; let q = b'r'; let b2 = y.unwrap();\n");
+        assert!(s.lines[0].contains("let b2 = y.unwrap();"));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let s = scan("let r#type = 1; let b = y.unwrap();\n");
+        assert!(s.lines[0].contains("let b = y.unwrap();"));
+    }
+
+    #[test]
+    fn format_string_with_hash_brace_and_escaped_quote() {
+        let s = scan("write!(f, \"{:#?} r#\\\"\", x); let b = y.unwrap();\n");
+        assert!(s.lines[0].contains("let b = y.unwrap();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan(
+            "fn f<'a>(x: &'a str) { let s: &'static str = \"x.unwrap()\"; y.unwrap(); }\n",
+        );
+        assert!(s.lines[0].contains("&'static str"));
+        assert!(s.lines[0].contains("y.unwrap();"));
+        assert!(!s.lines[0].contains("x.unwrap"));
+    }
+
+    #[test]
+    fn raw_string_inside_line_comment_is_comment() {
+        let s = scan("// r#\"x.unwrap()\"#\nlet b = y.unwrap();\n");
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[1].contains("let b = y.unwrap();"));
+    }
+}
+
+// ------------------------------------------------- graph rule families
+
+/// Multi-file fixtures driven through [`xtask::lint_sources`]: the
+/// cross-file families must find seeded chains and render them.
+mod graph_rules {
+    use xtask::lint_sources;
+    use xtask::rules::Violation;
+
+    fn lint(sources: &[(&str, &str)]) -> Vec<Violation> {
+        let owned: Vec<(String, String)> =
+            sources.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+        lint_sources(&owned)
+    }
+
+    fn of<'a>(vs: &'a [Violation], rule: &str) -> Vec<&'a Violation> {
+        vs.iter().filter(|v| v.rule == rule).collect()
+    }
+
+    #[test]
+    fn panic_reach_follows_a_three_hop_chain_across_files() {
+        let vs = lint(&[
+            ("crates/core/src/evaluator.rs", "pub fn try_evaluate() { mid_hop(); }\n"),
+            ("crates/core/src/remote.rs", "pub fn mid_hop() { deep_sink(); }\n"),
+            (
+                "crates/evald/src/wire.rs",
+                "pub fn deep_sink() {\n    let x: Option<u8> = None;\n    x.unwrap();\n}\n",
+            ),
+        ]);
+        let hits = of(&vs, "panic-reach");
+        assert_eq!(hits.len(), 1, "{vs:?}");
+        let v = hits[0];
+        assert_eq!((v.path.as_str(), v.line), ("crates/evald/src/wire.rs", 3));
+        assert_eq!(v.chain.len(), 3, "entry, hop, sink: {:?}", v.chain);
+        assert!(v.chain[0].starts_with("try_evaluate ("));
+        assert!(v.chain[1].starts_with("mid_hop ("));
+        assert!(v.chain[2].starts_with("deep_sink ("));
+        let rendered = v.render();
+        assert!(
+            rendered.contains("chain: try_evaluate (crates/core/src/evaluator.rs:1) -> mid_hop"),
+            "chain must be rendered: {rendered}"
+        );
+    }
+
+    #[test]
+    fn panic_reach_respects_catch_unwind_shields() {
+        let vs = lint(&[
+            (
+                "crates/core/src/evaluator.rs",
+                "pub fn try_evaluate() { let r = std::panic::catch_unwind(|| risky()); }\n",
+            ),
+            ("crates/core/src/remote.rs", "pub fn risky() { None::<u8>.unwrap(); }\n"),
+        ]);
+        assert!(of(&vs, "panic-reach").is_empty(), "shielded edge must not be traversed");
+    }
+
+    #[test]
+    fn panic_reach_honors_a_justified_allow_on_the_sink_line() {
+        let vs = lint(&[
+            ("crates/core/src/evaluator.rs", "pub fn try_evaluate() { hop(); }\n"),
+            (
+                "crates/core/src/remote.rs",
+                "pub fn hop() {\n    // lint:allow(panic-reach): fixture — sink is statically impossible\n    None::<u8>.unwrap();\n}\n",
+            ),
+        ]);
+        assert!(of(&vs, "panic-reach").is_empty());
+    }
+
+    #[test]
+    fn nondet_flow_catches_taint_laundered_through_a_helper_file() {
+        let vs = lint(&[
+            (
+                "crates/search/src/myalg.rs",
+                "struct S;\nimpl S {\n    pub fn search(&self) { launder(); }\n}\n",
+            ),
+            ("crates/core/src/util.rs", "pub fn launder() { tick(); }\n"),
+            (
+                "crates/core/src/util2.rs",
+                "pub fn tick() {\n    let t = std::time::Instant::now();\n}\n",
+            ),
+        ]);
+        let hits = of(&vs, "nondet-flow");
+        assert_eq!(hits.len(), 1, "{vs:?}");
+        let v = hits[0];
+        assert_eq!((v.path.as_str(), v.line), ("crates/core/src/util2.rs", 2));
+        let names: Vec<&str> =
+            v.chain.iter().map(|c| c.split(' ').next().unwrap_or("")).collect();
+        assert_eq!(names, vec!["search", "launder", "tick"], "laundering chain");
+        assert!(v.render().contains("chain: search ("));
+    }
+
+    #[test]
+    fn nondet_flow_blesses_the_budget_layer() {
+        let vs = lint(&[
+            (
+                "crates/search/src/myalg.rs",
+                "struct S;\nimpl S {\n    pub fn search(&self) { budget_probe(); }\n}\n",
+            ),
+            (
+                "crates/core/src/budget.rs",
+                "pub fn budget_probe() { let t = std::time::Instant::now(); }\n",
+            ),
+        ]);
+        assert!(of(&vs, "nondet-flow").is_empty(), "edges into budget.rs are never traversed");
+    }
+
+    #[test]
+    fn lock_order_flags_a_two_lock_inversion_in_both_directions() {
+        let src = "\
+struct S { alpha: std::sync::Mutex<u8>, beta: std::sync::Mutex<u8> }
+impl S {
+    pub fn ab(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+    }
+    pub fn ba(&self) {
+        let b = self.beta.lock().unwrap();
+        let a = self.alpha.lock().unwrap();
+    }
+}
+";
+        let vs = lint(&[("crates/evald/src/locks.rs", src)]);
+        let hits = of(&vs, "lock-order");
+        assert_eq!(hits.len(), 2, "one finding per direction: {vs:?}");
+        assert_eq!(hits[0].line, 5, "ab's second acquisition");
+        assert_eq!(hits[1].line, 9, "ba's second acquisition");
+        assert!(hits[0].message.contains("locks.rs:9"), "cross-references the inverse site");
+        assert!(hits[1].message.contains("locks.rs:5"));
+        assert!(hits[0].render().contains("chain: ab ("));
+    }
+
+    #[test]
+    fn lock_order_flags_reacquisition_through_a_wrapper_call() {
+        let src = "\
+struct S { inner: std::sync::Mutex<u8> }
+impl S {
+    fn lock(&self) -> std::sync::MutexGuard<'_, u8> {
+        self.inner.lock().unwrap()
+    }
+    pub fn outer(&self) {
+        let g = self.lock();
+        self.reenter();
+    }
+    pub fn reenter(&self) {
+        let h = self.lock();
+    }
+}
+";
+        let vs = lint(&[("crates/evald/src/locks.rs", src)]);
+        let hits = of(&vs, "lock-order");
+        assert_eq!(hits.len(), 1, "{vs:?}");
+        let v = hits[0];
+        assert_eq!(v.line, 8, "the reentering call site");
+        assert!(v.message.contains("`locks::inner`"));
+        let names: Vec<&str> =
+            v.chain.iter().map(|c| c.split(' ').next().unwrap_or("")).collect();
+        assert_eq!(names, vec!["outer", "reenter", "lock"], "witness chain");
+    }
+
+    #[test]
+    fn lock_order_sees_an_explicit_drop_release() {
+        let src = "\
+struct S { alpha: std::sync::Mutex<u8> }
+impl S {
+    pub fn seq(&self) {
+        let g = self.alpha.lock().unwrap();
+        drop(g);
+        let h = self.alpha.lock().unwrap();
+    }
+}
+";
+        let vs = lint(&[("crates/evald/src/locks.rs", src)]);
+        assert!(of(&vs, "lock-order").is_empty(), "drop(g) releases the guard: {vs:?}");
+    }
+
+    #[test]
+    fn lock_order_honors_a_justified_allow_on_the_second_acquisition() {
+        let src = "\
+struct S { alpha: std::sync::Mutex<u8>, beta: std::sync::Mutex<u8> }
+impl S {
+    pub fn ab(&self) {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+    }
+    pub fn ba(&self) {
+        let b = self.beta.lock().unwrap();
+        // lint:allow(lock-order): fixture — single-threaded caller, inversion is unreachable
+        let a = self.alpha.lock().unwrap();
+    }
+}
+";
+        let vs = lint(&[("crates/evald/src/locks.rs", src)]);
+        let hits = of(&vs, "lock-order");
+        assert_eq!(hits.len(), 1, "only the untagged direction fires: {vs:?}");
+        assert_eq!(hits[0].line, 5);
+    }
 }
