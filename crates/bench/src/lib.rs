@@ -18,7 +18,7 @@
 use autofp_core::{
     pool_map, run_search_with, Budget, CacheStats, EvalCache, EvalConfig, Evaluate, Evaluator,
     FailureStats, FleetStats, PhaseBreakdown, PrefixStats, RemoteEvaluator, SharedEvalCache,
-    SharedPrefixCache,
+    SharedPrefixCache, StoreMeta, StoreStats, TrialRepo,
 };
 use autofp_data::{registry, spec_by_name, Dataset, DatasetSpec};
 use autofp_evald::{
@@ -106,6 +106,13 @@ pub struct HarnessConfig {
     /// path after the matrix run — CI diffs it across cache modes to
     /// assert cell-level byte-identity.
     pub cells_out: Option<std::path::PathBuf>,
+    /// Durable trial repository directory ([`TrialRepo`]): every
+    /// (dataset, model) group's shared cache preloads its context
+    /// segment before the run and writes finished trials through to it,
+    /// so an interrupted matrix resumes from disk — the rerun evaluates
+    /// only missing trials and is bit-identical to an uninterrupted
+    /// cold run. Requires [`CacheMode::Shared`].
+    pub trial_store: Option<std::path::PathBuf>,
 }
 
 /// Default byte budget of a per-dataset prefix cache (256 MiB):
@@ -135,6 +142,7 @@ impl Default for HarnessConfig {
             prefix_cache: false,
             prefix_cache_bytes: Some(DEFAULT_PREFIX_BYTES),
             cells_out: None,
+            trial_store: None,
         }
     }
 }
@@ -171,16 +179,21 @@ impl HarnessConfig {
     /// `--prefix-cache` (valueless: enables the prefix-transform
     /// cache), `--prefix-cache-bytes` (per-dataset byte budget;
     /// implies `--prefix-cache`), `--cells-out` (deterministic
-    /// per-cell TSV path), `--remote` (comma-separated worker
-    /// addresses), `--workers` (local worker processes to spawn),
-    /// `--supervise-max-restarts` / `--supervise-backoff-ms`
-    /// (supervisor knobs for a `--workers` fleet).
+    /// per-cell TSV path), `--trial-store` (durable trial repository
+    /// directory; see [`HarnessConfig::trial_store`]), `--remote`
+    /// (comma-separated worker addresses), `--workers` (local worker
+    /// processes to spawn), `--supervise-max-restarts` /
+    /// `--supervise-backoff-ms` (supervisor knobs for a `--workers`
+    /// fleet).
     ///
     /// Rejected outright: an explicit `--workers 0` (a zero-worker
     /// fleet can serve nothing — omit the flag for an in-process run),
     /// `--remote` addresses that are not unique `host:port` pairs with
-    /// a nonzero port, and `--workers` combined with `--remote` (spawn
-    /// a local fleet *or* point at an existing one, not both).
+    /// a nonzero port, `--workers` combined with `--remote` (spawn
+    /// a local fleet *or* point at an existing one, not both), and
+    /// `--trial-store` without [`CacheMode::Shared`] (the durable
+    /// layer preloads and writes through the per-group shared caches,
+    /// so there is nothing to attach it to under `per-cell` or `off`).
     ///
     /// `--cache-cap 0` with a caching mode is contradictory (every
     /// insert would be evicted immediately, paying lock traffic for
@@ -241,6 +254,12 @@ impl HarnessConfig {
                     cfg.prefix_cache = true;
                 }
                 "--cells-out" => cfg.cells_out = Some(val.clone().into()),
+                "--trial-store" => {
+                    if val.is_empty() {
+                        return Err("--trial-store needs a directory path".into());
+                    }
+                    cfg.trial_store = Some(val.clone().into());
+                }
                 "--remote" => {
                     let addrs: Vec<String> =
                         val.split(',').filter(|s| !s.is_empty()).map(String::from).collect();
@@ -308,6 +327,13 @@ impl HarnessConfig {
             );
             cfg.prefix_cache = false;
         }
+        if cfg.trial_store.is_some() && cfg.cache_mode != CacheMode::Shared {
+            return Err(
+                "--trial-store preloads and writes through the per-group shared caches; \
+                 it requires --cache shared"
+                    .into(),
+            );
+        }
         Ok(cfg)
     }
 
@@ -374,6 +400,22 @@ impl HarnessConfig {
             None => SharedPrefixCache::new(),
         }
     }
+
+    /// The evaluation-context identity of a (dataset, model) matrix
+    /// group: exactly what a remote `evald` worker materializes for it.
+    /// Its [`EvalContext::canonical`] string doubles as the
+    /// [`TrialRepo`] segment key, so local, remote, and replay runs
+    /// over the same config share one on-disk trial identity.
+    pub fn eval_context(&self, spec: &DatasetSpec, model: ModelKind) -> EvalContext {
+        EvalContext {
+            dataset: spec.name.to_string(),
+            scale: self.effective_scale(spec),
+            model,
+            train_fraction: 0.8,
+            seed: self.seed,
+            train_subsample: None,
+        }
+    }
 }
 
 /// Result of one scenario cell (dataset × model × algorithm).
@@ -424,6 +466,13 @@ pub struct MatrixOutcome {
     /// how the fleet healed is nondeterministic, what it computed is
     /// not.
     pub fleet: Option<FleetStats>,
+    /// Durable trial-store counters folded over every context segment
+    /// the run opened; `None` without `--trial-store`. Excluded from
+    /// [`cells_tsv`] for the same reason as cache counters: how many
+    /// trials were preloaded vs appended depends on what a previous
+    /// (possibly interrupted) run persisted, while the cell results do
+    /// not.
+    pub store: Option<StoreStats>,
 }
 
 /// Per-socket-operation timeout for remote evaluations. Generous: a
@@ -587,6 +636,42 @@ where
     } else {
         Vec::new()
     };
+
+    // Durable layer: one on-disk segment per (dataset, model) group,
+    // preloaded into the group's shared cache before any cell runs and
+    // attached so finished trials write through. A store open failure
+    // is fatal — silently running without persistence would break the
+    // resume guarantee the caller asked for.
+    let trial_repo: Option<TrialRepo> = config.trial_store.as_ref().map(|dir| {
+        assert_eq!(
+            config.cache_mode,
+            CacheMode::Shared,
+            "trial_store requires CacheMode::Shared (it rides the group caches)"
+        );
+        TrialRepo::open(dir)
+            .unwrap_or_else(|err| panic!("--trial-store {}: {err}", dir.display()))
+    });
+    if let Some(repo) = &trial_repo {
+        for (di, spec) in specs.iter().enumerate() {
+            for (mi, &m) in models.iter().enumerate() {
+                let context = config.eval_context(spec, m).canonical();
+                let store = repo.open_context(&context).unwrap_or_else(|err| {
+                    panic!("--trial-store segment for `{context}`: {err}")
+                });
+                let evaluator = evaluators[di][mi].as_ref();
+                store
+                    .set_meta(StoreMeta {
+                        baseline_accuracy: evaluator.baseline_accuracy(),
+                        train_rows: evaluator.train_rows() as u64,
+                    })
+                    .unwrap_or_else(|err| {
+                        panic!("--trial-store segment for `{context}`: {err}")
+                    });
+                group_caches[di][mi].preload_from(&store);
+                group_caches[di][mi].attach_store(store);
+            }
+        }
+    }
     let model_index = |m: ModelKind| models.iter().position(|&x| x == m).expect("model listed");
 
     let outputs: Vec<(CellResult, Option<CacheStats>)> =
@@ -671,7 +756,10 @@ where
         (a.dataset.clone(), a.model.name(), a.algorithm)
             .cmp(&(b.dataset.clone(), b.model.name(), b.algorithm))
     });
-    let outcome = MatrixOutcome { cells: out, cache, prefix, failures, fleet: None };
+    // Store counters are read once, after every cell's write-throughs
+    // have landed.
+    let store = trial_repo.as_ref().map(TrialRepo::stats);
+    let outcome = MatrixOutcome { cells: out, cache, prefix, failures, fleet: None, store };
     if let Some(path) = &config.cells_out {
         if let Err(err) = std::fs::write(path, cells_tsv(&outcome)) {
             eprintln!("warning: could not write --cells-out {}: {err}", path.display());
@@ -744,7 +832,12 @@ pub fn print_matrix_stats(outcome: &MatrixOutcome) {
     let prefix = (outcome.prefix.lookups() > 0).then_some(&outcome.prefix);
     print!(
         "{}",
-        autofp_core::report::matrix_stats_markdown(&outcome.cache, prefix, &outcome.failures)
+        autofp_core::report::matrix_stats_markdown(
+            &outcome.cache,
+            prefix,
+            outcome.store.as_ref(),
+            &outcome.failures,
+        )
     );
     if let Some(fleet) = &outcome.fleet {
         println!();
@@ -837,6 +930,55 @@ mod tests {
         let defaults = HarnessConfig::default().supervisor_config();
         assert_eq!(defaults.max_restarts, 3);
         assert_eq!(defaults.backoff, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn trial_store_flag_parses_and_requires_shared_cache() {
+        let cfg = HarnessConfig::from_arg_slice(&argv(&["--trial-store", "/tmp/afp-repo"]));
+        assert_eq!(cfg.trial_store.as_deref(), Some(std::path::Path::new("/tmp/afp-repo")));
+        assert_eq!(cfg.cache_mode, CacheMode::Shared);
+        // The durable layer rides the per-group shared caches; other
+        // cache modes have nothing to attach it to.
+        for mode in ["per-cell", "off"] {
+            let err = HarnessConfig::try_from_arg_slice(&argv(&[
+                "--trial-store",
+                "/tmp/afp-repo",
+                "--cache",
+                mode,
+            ]))
+            .unwrap_err();
+            assert!(err.contains("--cache shared"), "{err}");
+        }
+        // `--cache-cap 0` downgrades to `--cache off`, which conflicts
+        // the same way.
+        let err = HarnessConfig::try_from_arg_slice(&argv(&[
+            "--trial-store",
+            "/tmp/afp-repo",
+            "--cache-cap",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--cache shared"), "{err}");
+        // A missing value is an error, not an empty path.
+        assert!(HarnessConfig::try_from_arg_slice(&argv(&["--trial-store"])).is_err());
+    }
+
+    #[test]
+    fn eval_context_matches_the_remote_identity() {
+        let cfg = HarnessConfig::default();
+        let spec = registry().into_iter().next().unwrap();
+        let ctx = cfg.eval_context(&spec, ModelKind::Lr);
+        assert_eq!(ctx.dataset, spec.name);
+        assert_eq!(ctx.scale, cfg.effective_scale(&spec));
+        assert_eq!(ctx.train_fraction, 0.8);
+        assert_eq!(ctx.seed, cfg.seed);
+        assert_eq!(ctx.train_subsample, None);
+        // The canonical string is the repo segment key: stable per
+        // config, distinct per model.
+        assert_ne!(
+            cfg.eval_context(&spec, ModelKind::Lr).canonical(),
+            cfg.eval_context(&spec, ModelKind::Xgb).canonical()
+        );
     }
 
     #[test]

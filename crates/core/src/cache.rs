@@ -132,6 +132,14 @@ impl CacheKey {
     pub fn canonical(&self) -> &str {
         &self.canonical
     }
+
+    /// Rehydrate a key from its stored parts (`core::repo` load path).
+    /// The caller must have verified `fingerprint == fnv1a(canonical)`;
+    /// the store's decoder does, so a persisted record can never come
+    /// back under the wrong identity.
+    pub(crate) fn from_parts(canonical: String, fingerprint: u64) -> CacheKey {
+        CacheKey { canonical, fingerprint }
+    }
 }
 
 /// FNV-1a: tiny, dependency-free, and stable across platforms and
@@ -232,6 +240,9 @@ pub struct EvalCache {
     inner: Mutex<CacheInner>,
     /// `None` = unbounded (the default).
     capacity: Option<usize>,
+    /// Durable layer: when attached, every memoized trial is also
+    /// appended to this store (see [`EvalCache::attach_store`]).
+    store: Mutex<Option<crate::repo::SharedTrialStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -317,10 +328,33 @@ impl EvalCache {
     /// would fail identically. Deadline and transport failures are
     /// circumstantial and are *not* stored (a worker coming back up
     /// must not be masked by a memoized worst-error trial).
+    /// With a durable store attached ([`EvalCache::attach_store`]),
+    /// the trial is also appended there (write-through); the store
+    /// independently enforces the same never-persist rule and
+    /// deduplicates, so the append is unconditional here.
     pub fn insert(&self, key: &CacheKey, trial: &Trial) {
+        if let Some(store) = self.store() {
+            store.append(key, trial);
+        }
         if matches!(trial.failure, Some(FailureKind::Deadline) | Some(FailureKind::Transport)) {
             return;
         }
+        self.memoize(key, trial);
+    }
+
+    /// Memoize without touching the durable store or hit/miss counters
+    /// — the preload path ([`EvalCache::preload_from`]): trials coming
+    /// *from* the store must not be written back to it, and warming is
+    /// not a lookup. The never-persist kinds are refused here too so a
+    /// corrupted store cannot plant a deadline/transport memo.
+    pub fn warm(&self, key: &CacheKey, trial: &Trial) {
+        if matches!(trial.failure, Some(FailureKind::Deadline) | Some(FailureKind::Transport)) {
+            return;
+        }
+        self.memoize(key, trial);
+    }
+
+    fn memoize(&self, key: &CacheKey, trial: &Trial) {
         let mut evicted = 0u64;
         {
             let mut inner = self.lock();
@@ -355,6 +389,34 @@ impl EvalCache {
     /// True when nothing is memoized yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Attach the durable trial-store layer: every subsequent
+    /// [`EvalCache::insert`] writes through to `store` (ARCHITECTURE.md
+    /// "Cache hierarchy", layer 4). Attaching replaces any previous
+    /// store; it does not preload — call [`EvalCache::preload_from`]
+    /// first when warm-starting.
+    pub fn attach_store(&self, store: crate::repo::SharedTrialStore) {
+        *self.store.lock().unwrap_or_else(PoisonError::into_inner) = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<crate::repo::SharedTrialStore> {
+        self.store.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Warm the memo with every trial persisted in `store` (in file
+    /// order, so LRU recency is deterministic across runs). Returns the
+    /// number of trials warmed; hit/miss counters are untouched and
+    /// nothing is written back to the store.
+    pub fn preload_from(&self, store: &crate::repo::TrialStore) -> u64 {
+        let mut warmed = 0u64;
+        for (key, trial) in store.snapshot() {
+            self.warm(&key, &trial);
+            warmed += 1;
+        }
+        store.note_preloaded(warmed);
+        warmed
     }
 
     /// Counter snapshot.

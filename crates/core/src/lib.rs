@@ -23,6 +23,11 @@
 //!   *partially transformed datasets* so pipelines sharing a prefix pay
 //!   only for their suffix — together they attack the paper's §5
 //!   finding that evaluation dominates search time.
+//! * [`repo::TrialStore`] persists finished trials to an append-only,
+//!   checksummed on-disk repository keyed by the same
+//!   [`cache::CacheKey`], so runs can warm-start, resume after a
+//!   crash, or replay a whole search with zero evaluations
+//!   ([`repo::ReplayEvaluator`]).
 //! * [`remote::RemoteEvaluator`] extends [`evaluator::Evaluate`] across
 //!   process boundaries: requests shard over a worker fleet by the
 //!   stable [`cache::CacheKey`] fingerprint, transport faults retry
@@ -50,6 +55,7 @@ pub mod order;
 pub mod patterns;
 pub mod prefix;
 pub mod remote;
+pub mod repo;
 pub mod report;
 pub mod ranking;
 
@@ -68,4 +74,8 @@ pub use prefix::{PrefixCache, PrefixHit, PrefixKey, PrefixStats, SharedPrefixCac
 pub use remote::{
     shard, shard_order, shard_weight, FleetStats, RemoteBackend, RemoteEvaluator, RemoteInfo,
     RetryPolicy,
+};
+pub use repo::{
+    OpenReport, RepoError, ReplayEvaluator, SharedTrialStore, StoreMeta, StoreStats, TrialRepo,
+    TrialStore,
 };

@@ -9,6 +9,7 @@ use crate::error::{FailureKind, FailureStats};
 use crate::framework::SearchOutcome;
 use crate::prefix::PrefixStats;
 use crate::remote::FleetStats;
+use crate::repo::StoreStats;
 use std::fmt::Write as _;
 
 /// Render an outcome's trials as TSV (`index`, `pipeline`, `accuracy`,
@@ -147,17 +148,35 @@ fn prefix_stats_rows(p: &PrefixStats) -> String {
     out
 }
 
+/// The durable `store` layer's rows of a per-layer cache table (see
+/// [`crate::repo::TrialStore`]); every counter is listed, including
+/// zeros, so tables are diffable across runs. A nonzero
+/// `truncated bytes` row is the visible trace of a torn-tail recovery.
+fn store_stats_rows(s: &StoreStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| store | trials | {} |", s.trials);
+    let _ = writeln!(out, "| store | preloaded | {} |", s.preloaded);
+    let _ = writeln!(out, "| store | appended | {} |", s.appended);
+    let _ = writeln!(out, "| store | deduped | {} |", s.deduped);
+    let _ = writeln!(out, "| store | never-persist skips | {} |", s.skipped);
+    let _ = writeln!(out, "| store | io errors | {} |", s.io_errors);
+    let _ = writeln!(out, "| store | truncated bytes | {} |", s.truncated_bytes);
+    out
+}
+
 /// Render matrix-level aggregate statistics — per-layer cache tallies
 /// and one failure tally folded over every cell of a dataset × model ×
 /// algorithm matrix — as a compact Markdown block.
 ///
 /// The bench harness prints this under each results table so shared
 /// cross-algorithm cache reuse, prefix-transform reuse (when a prefix
-/// cache ran — pass `None` otherwise), and any worst-error trials are
-/// observable in the report itself.
+/// cache ran — pass `None` otherwise), durable trial-store traffic
+/// (when `--trial-store` ran — pass `None` otherwise), and any
+/// worst-error trials are observable in the report itself.
 pub fn matrix_stats_markdown(
     cache: &CacheStats,
     prefix: Option<&PrefixStats>,
+    store: Option<&StoreStats>,
     failures: &FailureStats,
 ) -> String {
     let mut out = String::from("### Matrix aggregate stats\n\n");
@@ -176,6 +195,9 @@ pub fn matrix_stats_markdown(
     let _ = writeln!(out, "| trial | eval time saved | {:.3} s |", cache.saved.as_secs_f64());
     if let Some(p) = prefix {
         out.push_str(&prefix_stats_rows(p));
+    }
+    if let Some(s) = store {
+        out.push_str(&store_stats_rows(s));
     }
     if failures.total() == 0 {
         let _ = writeln!(out, "| - | failed trials | 0 |");
@@ -355,10 +377,33 @@ mod tests {
         assert!(md.contains("| prefix | poisoned rejects | 1 |"));
         assert!(md.contains("| prefix | steps saved | 17 |"));
 
-        let md = matrix_stats_markdown(&trial, Some(&prefix), &FailureStats::new());
+        let md = matrix_stats_markdown(&trial, Some(&prefix), None, &FailureStats::new());
         assert!(md.contains("| trial | hits | 4 (40.0%) |"));
         assert!(md.contains("| prefix | hits | 8 |"));
         assert!(md.contains("| prefix | hit rate | 80.0% |"));
+        assert!(!md.contains("| store |"), "no store rows without a trial store");
+    }
+
+    #[test]
+    fn store_rows_render_every_counter_in_the_matrix_table() {
+        use crate::repo::StoreStats;
+        let store = StoreStats {
+            appended: 12,
+            deduped: 3,
+            skipped: 2,
+            io_errors: 0,
+            preloaded: 7,
+            trials: 19,
+            truncated_bytes: 41,
+        };
+        let md = matrix_stats_markdown(&CacheStats::default(), None, Some(&store), &FailureStats::new());
+        assert!(md.contains("| store | trials | 19 |"));
+        assert!(md.contains("| store | preloaded | 7 |"));
+        assert!(md.contains("| store | appended | 12 |"));
+        assert!(md.contains("| store | deduped | 3 |"));
+        assert!(md.contains("| store | never-persist skips | 2 |"));
+        assert!(md.contains("| store | io errors | 0 |"));
+        assert!(md.contains("| store | truncated bytes | 41 |"), "torn-tail recovery must be visible:\n{md}");
     }
 
     #[test]
@@ -382,14 +427,14 @@ mod tests {
         cache.entries = 7;
         cache.evictions = 2;
         let mut failures = FailureStats::new();
-        let md = matrix_stats_markdown(&cache, None, &failures);
+        let md = matrix_stats_markdown(&cache, None, None, &failures);
         assert!(md.contains("| trial | lookups | 10 |"));
         assert!(md.contains("| trial | hits | 3 (30.0%) |"));
         assert!(md.contains("| trial | evictions | 2 |"));
         assert!(md.contains("| - | failed trials | 0 |"));
         assert!(!md.contains("| prefix |"));
         failures.record(FailureKind::Panic);
-        let md = matrix_stats_markdown(&cache, None, &failures);
+        let md = matrix_stats_markdown(&cache, None, None, &failures);
         assert!(md.contains("| - | failed trials | 1 (1 panic) |"));
     }
 

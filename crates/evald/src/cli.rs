@@ -1,10 +1,13 @@
 //! The `evald` binary's command surface.
 //!
-//! * `evald serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]`
-//!   — run a worker daemon on `127.0.0.1` (port 0 = OS-assigned) and
-//!   print `evald listening on <addr>` once bound, which supervisors
-//!   parse. The prefix-transform cache defaults to on at 256 MiB per
-//!   context; `--prefix-cache-bytes 0` turns it off.
+//! * `evald serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]
+//!   [--trial-store DIR]` — run a worker daemon on `127.0.0.1` (port 0
+//!   = OS-assigned) and print `evald listening on <addr>` once bound,
+//!   which supervisors parse. The prefix-transform cache defaults to
+//!   on at 256 MiB per context; `--prefix-cache-bytes 0` turns it off.
+//!   With `--trial-store`, each context's cache preloads from the
+//!   durable trial repository at materialization and writes finished
+//!   trials through to it, so a respawned worker resumes warm.
 //! * `evald ping <addr>` / `evald health <addr>` / `evald stats
 //!   <addr>` / `evald shutdown <addr>` — operator utilities against a
 //!   running worker.
@@ -22,11 +25,14 @@ usage: evald <command>
 
 commands:
   serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]
+        [--trial-store DIR]
                                      run a worker daemon (port 0 = OS-assigned;
                                      cache-cap bounds each context's trial LRU;
                                      prefix-cache-bytes bounds each context's
                                      prefix-transform cache, 0 = off,
-                                     default 256 MiB)
+                                     default 256 MiB; trial-store preloads each
+                                     context cache from the durable repository
+                                     at DIR and persists finished trials to it)
   ping <addr>                        check a worker is alive
   health <addr>                      print a worker's fleet epoch and load
   stats <addr>                       print a worker's cumulative counters
@@ -54,7 +60,8 @@ pub fn run(args: Vec<String>) -> i32 {
             let s = client::stats(addr, RPC_TIMEOUT)?;
             println!(
                 "{addr}: served={} contexts={} hits={} misses={} entries={} evictions={} saved={:?} \
-                 prefix_hits={} prefix_misses={} prefix_evictions={} prefix_steps_saved={}",
+                 prefix_hits={} prefix_misses={} prefix_evictions={} prefix_steps_saved={} \
+                 preloaded={}",
                 s.served,
                 s.contexts,
                 s.hits,
@@ -66,6 +73,7 @@ pub fn run(args: Vec<String>) -> i32 {
                 s.prefix_misses,
                 s.prefix_evictions,
                 s.prefix_steps_saved,
+                s.preloaded,
             );
             Ok(())
         }),
@@ -93,6 +101,7 @@ fn serve(args: &[String]) -> i32 {
     let mut port: u16 = 0;
     let mut cache_cap: Option<usize> = None;
     let mut prefix_bytes: Option<u64> = Some(autofp_core::PrefixCache::DEFAULT_BYTE_BUDGET);
+    let mut trial_store: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -117,13 +126,30 @@ fn serve(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--trial-store" => match it.next() {
+                Some(dir) if !dir.is_empty() => trial_store = Some(dir.into()),
+                _ => {
+                    eprintln!("evald: --trial-store needs a directory path");
+                    return 2;
+                }
+            },
             other => {
                 eprintln!("evald: unknown serve flag `{other}`\n{USAGE}");
                 return 2;
             }
         }
     }
-    let service = Arc::new(WorkerService::with_caches(cache_cap, prefix_bytes));
+    let mut service = WorkerService::with_caches(cache_cap, prefix_bytes);
+    if let Some(dir) = trial_store {
+        match autofp_core::TrialRepo::open(&dir) {
+            Ok(repo) => service = service.with_trial_repo(repo),
+            Err(e) => {
+                eprintln!("evald: --trial-store {}: {e}", dir.display());
+                return 1;
+            }
+        }
+    }
+    let service = Arc::new(service);
     let server = match Server::bind(("127.0.0.1", port), service) {
         Ok(s) => s,
         Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
@@ -194,6 +220,8 @@ mod tests {
         assert_eq!(run(argv(&["serve", "--cache-cap"])), 2);
         assert_eq!(run(argv(&["serve", "--prefix-cache-bytes"])), 2);
         assert_eq!(run(argv(&["serve", "--prefix-cache-bytes", "lots"])), 2);
+        assert_eq!(run(argv(&["serve", "--trial-store"])), 2);
+        assert_eq!(run(argv(&["serve", "--trial-store", ""])), 2);
         assert_eq!(run(argv(&["serve", "--bogus"])), 2);
     }
 

@@ -20,17 +20,23 @@
 //! it the same frames in memory, and both get byte-identical responses.
 
 use crate::wire::{EvalContext, FleetSpec, Request, Response, WorkerStats};
-use autofp_core::{EvalError, Evaluator, PrefixCache, SharedEvalCache, SharedPrefixCache};
+use autofp_core::{
+    EvalError, Evaluator, PrefixCache, SharedEvalCache, SharedPrefixCache, SharedTrialStore,
+    StoreMeta, TrialRepo,
+};
 use autofp_data::spec_by_name;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// One materialized evaluation context: the evaluator (dataset split,
-/// trainer, baseline) plus its process-local trial cache.
+/// trainer, baseline) plus its process-local trial cache and, when the
+/// worker runs with a trial repository, the durable segment the cache
+/// preloaded from and writes through to.
 struct ContextState {
     evaluator: Evaluator,
     cache: SharedEvalCache,
+    store: Option<SharedTrialStore>,
 }
 
 /// The worker daemon's brain: maps requests to responses.
@@ -43,6 +49,11 @@ pub struct WorkerService {
     /// Byte budget for each context's prefix-transform cache
     /// (`None` = disabled, `Some(b)` = on, LRU-bounded at `b` bytes).
     prefix_bytes: Option<u64>,
+    /// Durable trial repository: when set, every context's cache is
+    /// preloaded from its on-disk segment at materialization and
+    /// writes finished trials through to it, so a respawned worker
+    /// resumes with everything its predecessors evaluated.
+    repo: Option<TrialRepo>,
     /// Context canonical string -> materialized state. A `BTreeMap`
     /// keeps stats aggregation in deterministic order.
     contexts: Mutex<BTreeMap<String, Arc<ContextState>>>,
@@ -76,10 +87,20 @@ impl WorkerService {
         WorkerService {
             cache_capacity: capacity,
             prefix_bytes: prefix_bytes.filter(|&b| b > 0),
+            repo: None,
             contexts: Mutex::new(BTreeMap::new()),
             served: AtomicU64::new(0),
             fleet: Mutex::new(FleetSpec::default()),
         }
+    }
+
+    /// Attach a durable trial repository (`--trial-store`): every
+    /// context materialized from now on preloads its segment and
+    /// writes finished trials through to it. Builder-style, applied
+    /// before the service starts handling requests.
+    pub fn with_trial_repo(mut self, repo: TrialRepo) -> WorkerService {
+        self.repo = Some(repo);
+        self
     }
 
     /// The fleet spec this worker currently holds.
@@ -149,7 +170,11 @@ impl WorkerService {
             Some(cap) => SharedEvalCache::with_capacity(cap),
             None => SharedEvalCache::new(),
         };
-        let state = Arc::new(ContextState { evaluator, cache });
+        let store = match &self.repo {
+            Some(repo) => Some(durable_segment(repo, &key, &evaluator, &cache)?),
+            None => None,
+        };
+        let state = Arc::new(ContextState { evaluator, cache, store });
         Ok(self.intern(key, state))
     }
 
@@ -176,6 +201,9 @@ impl WorkerService {
                 out.prefix_misses += p.misses;
                 out.prefix_evictions += p.evictions;
                 out.prefix_steps_saved += p.steps_saved;
+            }
+            if let Some(store) = &state.store {
+                out.preloaded += store.stats().preloaded;
             }
         }
         out
@@ -224,6 +252,33 @@ impl Default for WorkerService {
     fn default() -> Self {
         WorkerService::new()
     }
+}
+
+/// Open `context`'s durable segment, record the evaluator's identity
+/// meta, and preload + attach the context cache. Store failures
+/// surface as transport errors (retryable, never cached): the worker
+/// refuses to serve a context whose persisted identity conflicts with
+/// the evaluator it just built rather than mixing trials from two
+/// different worlds.
+fn durable_segment(
+    repo: &TrialRepo,
+    context: &str,
+    evaluator: &Evaluator,
+    cache: &SharedEvalCache,
+) -> Result<SharedTrialStore, EvalError> {
+    let transport = |err: autofp_core::RepoError| EvalError::Transport {
+        detail: format!("trial store: {err}"),
+    };
+    let store = repo.open_context(context).map_err(transport)?;
+    store
+        .set_meta(StoreMeta {
+            baseline_accuracy: evaluator.baseline_accuracy(),
+            train_rows: evaluator.split().train.n_rows() as u64,
+        })
+        .map_err(transport)?;
+    cache.preload_from(&store);
+    cache.attach_store(store.clone());
+    Ok(store)
 }
 
 #[cfg(test)]
@@ -402,6 +457,69 @@ mod tests {
         assert_eq!(svc.fleet(), newer);
         let resp = svc.handle(&Request::Health);
         assert_eq!(resp, Response::Health { epoch: 4, served: 0, contexts: 0 });
+    }
+
+    #[test]
+    fn trial_store_persists_and_preloads_across_worker_restarts() {
+        // Deterministic temp dir without wall-clock identity.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "evald-svc-store-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let p = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+        // First worker process: evaluates and persists.
+        let first = WorkerService::new().with_trial_repo(TrialRepo::open(&dir).expect("open repo"));
+        let resp = first.handle(&Request::Eval { ctx: ctx(), pipeline: p.clone(), fraction: 1.0 });
+        let Response::Trial { trial: a, stats } = resp else { panic!("expected Trial, got {resp:?}") };
+        assert_eq!(stats.preloaded, 0, "fresh store preloads nothing");
+        assert_eq!(stats.misses, 1);
+
+        // Second worker process (a respawn): preloads the segment and
+        // serves the same pipeline as a cache hit, bit-identically,
+        // without evaluating.
+        let second = WorkerService::new().with_trial_repo(TrialRepo::open(&dir).expect("reopen repo"));
+        let resp = second.handle(&Request::Eval { ctx: ctx(), pipeline: p, fraction: 1.0 });
+        let Response::Trial { trial: b, stats } = resp else { panic!("expected Trial, got {resp:?}") };
+        assert_eq!(stats.preloaded, 1, "respawn preloads the persisted trial");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+        assert_eq!(a.prep_time, b.prep_time, "preloaded trials round-trip bit-exactly");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn conflicting_store_identity_is_refused_not_mixed() {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "evald-svc-conflict-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Forge a segment for this context holding a different
+        // evaluator identity (wrong baseline).
+        let repo = TrialRepo::open(&dir).expect("open repo");
+        let segment = repo.open_context(&ctx().canonical()).expect("segment");
+        segment
+            .set_meta(autofp_core::StoreMeta { baseline_accuracy: 0.123, train_rows: 1 })
+            .expect("forge meta");
+        drop(repo);
+
+        let svc = WorkerService::new().with_trial_repo(TrialRepo::open(&dir).expect("reopen"));
+        let resp = svc.handle(&Request::Eval { ctx: ctx(), pipeline: Pipeline::empty(), fraction: 1.0 });
+        assert!(
+            matches!(resp, Response::Error(EvalError::Transport { ref detail })
+                if detail.contains("trial store")),
+            "{resp:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -123,6 +123,10 @@ pub struct WorkerStats {
     pub prefix_evictions: u64,
     /// Transform invocations the prefix hits skipped.
     pub prefix_steps_saved: u64,
+    /// Trials preloaded from the durable trial store
+    /// ([`autofp_core::TrialStore`]) into context caches at
+    /// materialization; 0 when the worker runs without `--trial-store`.
+    pub preloaded: u64,
 }
 
 /// A client-to-worker message.
@@ -515,6 +519,7 @@ fn enc_stats(e: &mut Enc, s: &WorkerStats) {
     e.u64(s.prefix_misses);
     e.u64(s.prefix_evictions);
     e.u64(s.prefix_steps_saved);
+    e.u64(s.preloaded);
 }
 
 fn dec_stats(d: &mut Dec) -> Result<WorkerStats, EvalError> {
@@ -530,6 +535,7 @@ fn dec_stats(d: &mut Dec) -> Result<WorkerStats, EvalError> {
         prefix_misses: d.u64("stats prefix_misses")?,
         prefix_evictions: d.u64("stats prefix_evictions")?,
         prefix_steps_saved: d.u64("stats prefix_steps_saved")?,
+        preloaded: d.u64("stats preloaded")?,
     })
 }
 
@@ -780,6 +786,7 @@ mod tests {
             prefix_misses: 3,
             prefix_evictions: 2,
             prefix_steps_saved: 17,
+            preloaded: 5,
         }
     }
 

@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 /// Hot-path entry points for panic-reach: (file, fn name). Everything
 /// transitively callable from these, minus `catch_unwind`-shielded
 /// edges, must be panic-free.
-const PANIC_REACH_ENTRIES: [(&str, &str); 8] = [
+const PANIC_REACH_ENTRIES: [(&str, &str); 10] = [
     // The shielded evaluation surface searchers program against.
     ("crates/core/src/evaluator.rs", "try_evaluate"),
     ("crates/core/src/evaluator.rs", "try_evaluate_budgeted"),
@@ -43,14 +43,23 @@ const PANIC_REACH_ENTRIES: [(&str, &str); 8] = [
     // catch_unwind shield: a panic kills a client thread or the fleet.
     ("crates/core/src/remote.rs", "evaluate_raw"),
     ("crates/evald/src/launch.rs", "supervise_once"),
+    // The durable trial store decodes untrusted on-disk bytes (a torn
+    // or corrupted segment) on open, and append runs inside worker and
+    // bench write-through paths; both must fail with RepoError, never
+    // panic.
+    ("crates/core/src/repo.rs", "open"),
+    ("crates/core/src/repo.rs", "append"),
 ];
 
 /// Files where slice/array indexing counts as a panic-reach sink. The
 /// evaluation cone tolerates a panic (catch_unwind burns the trial);
 /// the distributed layer does not — an out-of-bounds index takes out a
-/// worker, the client pool, or the supervisor. Matrix-shaped indexing
-/// in `preprocess`/`models`/`linalg` stays idiomatic and out of scope.
-const INDEX_SINK_FILES: [&str; 7] = [
+/// worker, the client pool, or the supervisor — and the trial store
+/// decodes arbitrary (possibly torn) on-disk bytes, where an index
+/// panic would turn a recoverable corrupt tail into a crash loop.
+/// Matrix-shaped indexing in `preprocess`/`models`/`linalg` stays
+/// idiomatic and out of scope.
+const INDEX_SINK_FILES: [&str; 8] = [
     "crates/evald/src/wire.rs",
     "crates/evald/src/client.rs",
     "crates/evald/src/fleet.rs",
@@ -58,6 +67,7 @@ const INDEX_SINK_FILES: [&str; 7] = [
     "crates/evald/src/server.rs",
     "crates/evald/src/service.rs",
     "crates/core/src/remote.rs",
+    "crates/core/src/repo.rs",
 ];
 
 /// Panicking constructs beyond [`PANIC_TOKENS`]: `std::panic::panic_any`

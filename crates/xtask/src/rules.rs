@@ -78,12 +78,16 @@ impl Violation {
 /// supervisor, or a whole search; the wire decoder in particular faces
 /// untrusted bytes, and the client/supervisor must degrade dead
 /// workers to failover or worst-error trials, never to a crash.
-const HOT_PATH: [&str; 9] = [
+/// `core/repo.rs` decodes untrusted on-disk bytes the same way the
+/// wire decoder does: open+scan over an arbitrary (possibly torn or
+/// corrupted) segment file must be total.
+const HOT_PATH: [&str; 10] = [
     "crates/core/src/batch.rs",
     "crates/core/src/evaluator.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/prefix.rs",
     "crates/core/src/remote.rs",
+    "crates/core/src/repo.rs",
     "crates/evald/src/wire.rs",
     "crates/evald/src/client.rs",
     "crates/evald/src/fleet.rs",
@@ -93,7 +97,10 @@ const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/s
 
 /// Modules whose outputs feed `History`, reports, or cache keys: hash
 /// containers (nondeterministic iteration order) need justification.
-const DET_CRITICAL: [&str; 11] = [
+/// `core/repo.rs` is the durable end of that chain: record identity
+/// and segment layout must be pure functions of the trial data —
+/// no wall clock, no unstable iteration order.
+const DET_CRITICAL: [&str; 12] = [
     "crates/core/src/history.rs",
     "crates/core/src/report.rs",
     "crates/core/src/cache.rs",
@@ -102,6 +109,7 @@ const DET_CRITICAL: [&str; 11] = [
     "crates/core/src/patterns.rs",
     "crates/core/src/batch.rs",
     "crates/core/src/framework.rs",
+    "crates/core/src/repo.rs",
     "crates/evald/src/service.rs",
     "crates/evald/src/fleet.rs",
     "crates/evald/src/launch.rs",

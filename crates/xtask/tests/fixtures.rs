@@ -471,6 +471,37 @@ mod graph_rules {
     }
 
     #[test]
+    fn panic_reach_covers_the_trial_store_persistence_entry_points() {
+        // `TrialRepo::open` decodes untrusted on-disk bytes and `append`
+        // runs inside bench/worker write-through paths — both are entry
+        // points, so a panic reachable from either must be flagged.
+        let vs = lint(&[
+            (
+                "crates/core/src/repo.rs",
+                "pub fn open() { decode_record(); }\npub fn append() { decode_record(); }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                "pub fn decode_record() {\n    let x: Option<u8> = None;\n    x.unwrap();\n}\n",
+            ),
+        ]);
+        let hits = of(&vs, "panic-reach");
+        assert_eq!(hits.len(), 1, "one finding per sink line: {vs:?}");
+        let v = hits[0];
+        assert_eq!((v.path.as_str(), v.line), ("crates/core/src/util.rs", 3));
+        assert!(
+            v.chain[0].starts_with("open (") || v.chain[0].starts_with("append ("),
+            "chain starts at a persistence entry point: {:?}",
+            v.chain
+        );
+        // A fn named `open` outside repo.rs is not an entry point.
+        let vs = lint(&[
+            ("crates/core/src/elsewhere.rs", "pub fn open() { None::<u8>.unwrap(); }\n"),
+        ]);
+        assert!(of(&vs, "panic-reach").is_empty(), "entry is scoped to repo.rs: {vs:?}");
+    }
+
+    #[test]
     fn nondet_flow_catches_taint_laundered_through_a_helper_file() {
         let vs = lint(&[
             (
