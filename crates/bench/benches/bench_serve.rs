@@ -1,0 +1,93 @@
+//! Serving-path throughput: rows/second through a fitted artifact,
+//! single-thread versus pooled, at several batch sizes.
+//!
+//! The scenario is the fit-once / serve-many deployment: one exported
+//! (pipeline, model) winner answering batched prediction requests. The
+//! pipeline is the four-step worst case (standard → power → quantile →
+//! min-max) so the prep share of serving cost is realistic, and a
+//! slice of malformed rows rides along to price the quarantine path.
+//!
+//! Run with `cargo bench -p autofp-bench --bench bench_serve`.
+//! The run asserts pooled serving is bit-identical to single-thread
+//! serving (the engine's fixed-chunk guarantee) before reporting.
+
+use autofp_core::EvalConfig;
+use autofp_data::{Personality, SynthConfig};
+use autofp_models::classifier::ModelKind;
+use autofp_preprocess::{Pipeline, PreprocKind};
+use autofp_serve::{fit_artifact, BatchReport, ServeEngine};
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 3;
+const THREADS: usize = 8;
+const FEATURES: usize = 12;
+
+fn measure<F: FnMut() -> BatchReport>(mut f: F) -> (Duration, BatchReport) {
+    let mut out = f(); // warm-up round (page in data, prime allocator)
+    let start = Instant::now();
+    for _ in 0..ROUNDS {
+        out = f();
+    }
+    (start.elapsed() / ROUNDS as u32, out)
+}
+
+fn main() {
+    let mut p = Personality::default();
+    p.scale_spread = 5.0;
+    p.skew = 0.3;
+    let dataset = SynthConfig::new("serve-bench", 2_000, FEATURES, 3, 11)
+        .with_personality(p)
+        .generate();
+    let pipeline = Pipeline::from_kinds(&[
+        PreprocKind::StandardScaler,
+        PreprocKind::PowerTransformer,
+        PreprocKind::QuantileTransformer,
+        PreprocKind::MinMaxScaler,
+    ]);
+    let config = EvalConfig { model: ModelKind::Lr, seed: 11, ..Default::default() };
+    let artifact = fit_artifact(&dataset, &pipeline, &config).expect("export fits");
+    println!(
+        "artifact: pipeline `{}`, model {}, {} features, accuracy {:.4}",
+        artifact.meta.pipeline_key, artifact.meta.model, artifact.meta.n_features,
+        artifact.meta.accuracy
+    );
+    let engine = ServeEngine::new(artifact);
+
+    // Request rows cycled from the dataset, with 1-in-32 malformed so
+    // the quarantine branch is priced in.
+    let make_rows = |n: usize| -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let mut row = dataset.x.row(i % dataset.x.nrows()).to_vec();
+                if i % 32 == 31 {
+                    row[i % FEATURES] = f64::NAN;
+                }
+                row
+            })
+            .collect()
+    };
+
+    println!(
+        "\n{:>8}  {:>14}  {:>14}  {:>8}",
+        "batch", "1 thread", format!("{THREADS} threads"), "speedup"
+    );
+    for batch in [64usize, 1_024, 16_384] {
+        let rows = make_rows(batch);
+        let (single, single_out) = measure(|| engine.predict_batch(&rows, 1));
+        let (pooled, pooled_out) = measure(|| engine.predict_batch(&rows, THREADS));
+        assert_eq!(
+            single_out.outcomes, pooled_out.outcomes,
+            "pooled serving must be bit-identical to single-thread serving"
+        );
+        let single_rps = batch as f64 / single.as_secs_f64();
+        let pooled_rps = batch as f64 / pooled.as_secs_f64();
+        println!(
+            "{:>8}  {:>10.0} r/s  {:>10.0} r/s  {:>7.2}x",
+            batch,
+            single_rps,
+            pooled_rps,
+            single.as_secs_f64() / pooled.as_secs_f64(),
+        );
+    }
+    println!("\nok: pooled outcomes bit-identical to single-thread at every batch size");
+}

@@ -144,8 +144,9 @@ impl CacheKey {
 
 /// FNV-1a: tiny, dependency-free, and stable across platforms and
 /// compiler versions (unlike `DefaultHasher`, whose algorithm is
-/// unspecified).
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+/// unspecified). Public because the serve-artifact format checksums
+/// its records with the same hash the trial store uses.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf29ce484222325;
     for &b in bytes {
         hash ^= b as u64;

@@ -140,7 +140,9 @@ impl FailureKind {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable position in [`FailureKind::ALL`] — the wire code the
+    /// serve protocol uses for quarantine reasons.
+    pub fn index(self) -> usize {
         match self {
             FailureKind::NonFinite => 0,
             FailureKind::Degenerate => 1,

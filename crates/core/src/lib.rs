@@ -61,7 +61,7 @@ pub mod ranking;
 
 pub use batch::{pool_map, BatchEvaluator};
 pub use budget::{Budget, BudgetClock};
-pub use cache::{CacheKey, CacheStats, EvalCache, SharedEvalCache};
+pub use cache::{fnv1a, CacheKey, CacheStats, EvalCache, SharedEvalCache};
 pub use error::{EvalError, FailureKind, FailureStats};
 pub use evaluator::{evaluate_or_worst, Evaluate, EvalConfig, Evaluator};
 pub use fault::{FaultConfig, FaultInjector, InjectedPanic};
@@ -76,6 +76,6 @@ pub use remote::{
     RetryPolicy,
 };
 pub use repo::{
-    OpenReport, RepoError, ReplayEvaluator, SharedTrialStore, StoreMeta, StoreStats, TrialRepo,
-    TrialStore,
+    GcReport, GcSegment, OpenReport, RepoError, ReplayEvaluator, SharedTrialStore, StoreMeta,
+    StoreStats, TrialRepo, TrialStore,
 };

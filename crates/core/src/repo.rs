@@ -841,6 +841,93 @@ impl TrialRepo {
         }
         total
     }
+
+    /// Dead-segment sweep: remove every `ctx-*.log` segment whose
+    /// pinned context string is **not** in `keep` (abandoned configs
+    /// accumulate dead segments over the life of a repository).
+    ///
+    /// Conservative by construction: files that do not look like
+    /// segment files are ignored entirely; segments that cannot be
+    /// read or whose context cannot be decoded are reported in
+    /// [`GcReport::skipped`] and never deleted; segments interned by
+    /// this process (live file handles) are treated as kept regardless
+    /// of the keep-list. With `dry_run` nothing is deleted and the
+    /// report describes what a real sweep would remove.
+    pub fn gc(&self, keep: &[String], dry_run: bool) -> Result<GcReport, RepoError> {
+        let live: Vec<String> = self.open_contexts();
+        let mut names: Vec<std::ffi::OsString> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            names.push(entry?.file_name());
+        }
+        names.sort();
+        let mut report = GcReport { dry_run, ..GcReport::default() };
+        for name in names {
+            let Some(text) = name.to_str() else { continue };
+            if !text.starts_with("ctx-") || !text.ends_with(".log") {
+                continue;
+            }
+            let path = self.dir.join(&name);
+            let context = match segment_context(&path) {
+                Some(c) => c,
+                None => {
+                    report.skipped.push(path);
+                    continue;
+                }
+            };
+            if keep.contains(&context) || live.contains(&context) {
+                report.kept.push(context);
+                continue;
+            }
+            let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            if !dry_run {
+                std::fs::remove_file(&path)?;
+            }
+            report.reclaimed_bytes += bytes;
+            report.removed.push(GcSegment { context, path, bytes });
+        }
+        Ok(report)
+    }
+}
+
+/// Read the pinned context string of a segment file, if any. `None`
+/// for unreadable files, non-segment bytes, or a segment torn before
+/// its context record.
+fn segment_context(path: &Path) -> Option<String> {
+    let bytes = std::fs::read(path).ok()?;
+    let parsed = scan(&bytes).ok()?;
+    parsed.records.into_iter().find_map(|r| match r {
+        Record::Context(c) => Some(c),
+        _ => None,
+    })
+}
+
+/// One dead segment found (and, outside dry runs, removed) by
+/// [`TrialRepo::gc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcSegment {
+    /// The abandoned context the segment was pinned to.
+    pub context: String,
+    /// The segment file path.
+    pub path: PathBuf,
+    /// File size at sweep time.
+    pub bytes: u64,
+}
+
+/// Outcome of a [`TrialRepo::gc`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Contexts whose segments survive (keep-list members plus any
+    /// segment interned by this process).
+    pub kept: Vec<String>,
+    /// Dead segments removed — or, under `dry_run`, that would be.
+    pub removed: Vec<GcSegment>,
+    /// Segment-like files whose context could not be read; never
+    /// deleted.
+    pub skipped: Vec<PathBuf>,
+    /// Total size of the removed segments.
+    pub reclaimed_bytes: u64,
+    /// True when this was a report-only sweep.
+    pub dry_run: bool,
 }
 
 // -------------------------------------------------------------- replay
@@ -1403,5 +1490,71 @@ mod tests {
                 truncated_bytes: 14,
             }
         );
+    }
+
+    #[test]
+    fn gc_sweeps_dead_segments_and_keeps_live_ones() {
+        let dir = temp_dir("gc");
+        let repo = TrialRepo::open(&dir).expect("open repo");
+        // Three segments: one live (keep-list), two abandoned.
+        for ctx in ["ctx=live", "ctx=dead-a", "ctx=dead-b"] {
+            let store = repo.open_context(ctx).expect("open context");
+            let p = Pipeline::from_kinds(&[PreprocKind::MinMaxScaler]);
+            store.append(&key_for(&p, 1.0), &trial_for(&p, 0.6, None));
+        }
+        // A non-segment file and an unreadable segment-like file must
+        // both survive any sweep.
+        std::fs::write(dir.join("notes.txt"), b"not a segment").expect("write");
+        std::fs::write(dir.join("ctx-ffffffffffffffff.log"), b"garbage").expect("write");
+
+        // Re-open fresh so no segment is interned (live handles are
+        // protected even off the keep-list; that guard is tested below).
+        drop(repo);
+        let repo = TrialRepo::open(&dir).expect("reopen repo");
+        let keep = vec!["ctx=live".to_string()];
+
+        let dry = repo.gc(&keep, true).expect("dry run");
+        assert!(dry.dry_run);
+        assert_eq!(dry.kept, vec!["ctx=live"]);
+        assert_eq!(dry.removed.len(), 2);
+        assert!(dry.reclaimed_bytes > 0);
+        assert_eq!(dry.skipped, vec![dir.join("ctx-ffffffffffffffff.log")]);
+        // Dry run deletes nothing.
+        for seg in &dry.removed {
+            assert!(seg.path.exists(), "{:?} deleted by dry run", seg.path);
+        }
+
+        let swept = repo.gc(&keep, false).expect("sweep");
+        assert_eq!(swept.kept, dry.kept);
+        assert_eq!(swept.removed, dry.removed);
+        assert_eq!(swept.reclaimed_bytes, dry.reclaimed_bytes);
+        for seg in &swept.removed {
+            assert!(!seg.path.exists(), "{:?} survived the sweep", seg.path);
+        }
+        let mut contexts: Vec<String> = swept.removed.iter().map(|s| s.context.clone()).collect();
+        contexts.sort();
+        assert_eq!(contexts, vec!["ctx=dead-a", "ctx=dead-b"]);
+        // The kept segment still opens and holds its trial.
+        let store = repo.open_context("ctx=live").expect("reopen live");
+        assert_eq!(store.len(), 1);
+        // The unreadable file is untouched.
+        assert!(dir.join("ctx-ffffffffffffffff.log").exists());
+        assert!(dir.join("notes.txt").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_protects_interned_segments() {
+        let dir = temp_dir("gc-live");
+        let repo = TrialRepo::open(&dir).expect("open repo");
+        let store = repo.open_context("ctx=open-now").expect("open context");
+        let p = Pipeline::from_kinds(&[PreprocKind::MaxAbsScaler]);
+        store.append(&key_for(&p, 1.0), &trial_for(&p, 0.6, None));
+        // Off the keep-list but interned: must be treated as kept.
+        let report = repo.gc(&[], false).expect("sweep");
+        assert_eq!(report.kept, vec!["ctx=open-now"]);
+        assert!(report.removed.is_empty());
+        assert!(repo.segment_path("ctx=open-now").exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,9 +1,9 @@
 //! The `evald` binary's command surface.
 //!
-//! * `evald serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]
-//!   [--trial-store DIR]` — run a worker daemon on `127.0.0.1` (port 0
-//!   = OS-assigned) and print `evald listening on <addr>` once bound,
-//!   which supervisors parse. The prefix-transform cache defaults to
+//! * `evald serve [--bind ADDR] [--port P] [--cache-cap N]
+//!   [--prefix-cache-bytes B] [--trial-store DIR]` — run a worker
+//!   daemon (default `127.0.0.1`, port 0 = OS-assigned) and print
+//!   `evald listening on <addr>` once bound, which supervisors parse. The prefix-transform cache defaults to
 //!   on at 256 MiB per context; `--prefix-cache-bytes 0` turns it off.
 //!   With `--trial-store`, each context's cache preloads from the
 //!   durable trial repository at materialization and writes finished
@@ -24,9 +24,10 @@ const USAGE: &str = "\
 usage: evald <command>
 
 commands:
-  serve [--port P] [--cache-cap N] [--prefix-cache-bytes B]
+  serve [--bind ADDR] [--port P] [--cache-cap N] [--prefix-cache-bytes B]
         [--trial-store DIR]
-                                     run a worker daemon (port 0 = OS-assigned;
+                                     run a worker daemon (bind defaults to
+                                     127.0.0.1; port 0 = OS-assigned;
                                      cache-cap bounds each context's trial LRU;
                                      prefix-cache-bytes bounds each context's
                                      prefix-transform cache, 0 = off,
@@ -98,6 +99,7 @@ pub fn run(args: Vec<String>) -> i32 {
 }
 
 fn serve(args: &[String]) -> i32 {
+    let mut bind: std::net::IpAddr = std::net::Ipv4Addr::LOCALHOST.into();
     let mut port: u16 = 0;
     let mut cache_cap: Option<usize> = None;
     let mut prefix_bytes: Option<u64> = Some(autofp_core::PrefixCache::DEFAULT_BYTE_BUDGET);
@@ -105,6 +107,13 @@ fn serve(args: &[String]) -> i32 {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--bind" => match it.next().map(|v| v.parse::<std::net::IpAddr>()) {
+                Some(Ok(ip)) => bind = ip,
+                _ => {
+                    eprintln!("evald: --bind needs an IP address (e.g. 127.0.0.1 or ::1)");
+                    return 2;
+                }
+            },
             "--port" => match it.next().map(|v| v.parse::<u16>()) {
                 Some(Ok(p)) => port = p,
                 _ => {
@@ -150,17 +159,17 @@ fn serve(args: &[String]) -> i32 {
         }
     }
     let service = Arc::new(service);
-    let server = match Server::bind(("127.0.0.1", port), service) {
+    let server = match Server::bind((bind, port), service) {
         Ok(s) => s,
         Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
             eprintln!(
-                "evald: port {port} is already in use on 127.0.0.1 — pick another \
+                "evald: port {port} is already in use on {bind} — pick another \
                  --port or use 0 for an OS-assigned one"
             );
             return 1;
         }
         Err(e) => {
-            eprintln!("evald: bind 127.0.0.1:{port}: {e}");
+            eprintln!("evald: bind {bind}:{port}: {e}");
             return 1;
         }
     };
@@ -223,6 +232,40 @@ mod tests {
         assert_eq!(run(argv(&["serve", "--trial-store"])), 2);
         assert_eq!(run(argv(&["serve", "--trial-store", ""])), 2);
         assert_eq!(run(argv(&["serve", "--bogus"])), 2);
+    }
+
+    #[test]
+    fn serve_bind_rejects_malformed_addresses() {
+        assert_eq!(run(argv(&["serve", "--bind"])), 2);
+        assert_eq!(run(argv(&["serve", "--bind", ""])), 2);
+        assert_eq!(run(argv(&["serve", "--bind", "localhost"])), 2);
+        assert_eq!(run(argv(&["serve", "--bind", "256.0.0.1"])), 2);
+        assert_eq!(run(argv(&["serve", "--bind", "127.0.0.1:9"])), 2);
+        assert_eq!(run(argv(&["serve", "--bind", "not an ip"])), 2);
+    }
+
+    #[test]
+    fn serve_bind_accepts_a_valid_address() {
+        // Bind to loopback with an OS-assigned port, then shut the
+        // daemon down over its own protocol.
+        let holder = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        let port = holder.local_addr().expect("addr").port();
+        drop(holder);
+        let handle = std::thread::spawn(move || {
+            run(argv(&["serve", "--bind", "127.0.0.1", "--port", &port.to_string()]))
+        });
+        let addr = format!("127.0.0.1:{port}");
+        // The daemon needs a beat to bind; retry until it answers.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if client::ping(&addr, Duration::from_millis(200)).is_ok() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "daemon never came up");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        client::shutdown(&addr, RPC_TIMEOUT).expect("shutdown");
+        assert_eq!(handle.join().expect("serve thread"), 0);
     }
 
     #[test]

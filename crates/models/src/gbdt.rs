@@ -67,15 +67,15 @@ impl GbdtParams {
 }
 
 #[derive(Debug, Clone)]
-enum TreeNode {
+pub(crate) enum TreeNode {
     Leaf { weight: f64 },
     Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 /// One regression tree of the ensemble.
 #[derive(Debug, Clone)]
-struct RegTree {
-    nodes: Vec<TreeNode>,
+pub(crate) struct RegTree {
+    pub(crate) nodes: Vec<TreeNode>,
 }
 
 impl RegTree {
@@ -96,9 +96,9 @@ impl RegTree {
 /// A trained gradient-boosted tree ensemble.
 pub struct Gbdt {
     /// `trees[round][class]`.
-    trees: Vec<Vec<RegTree>>,
-    n_classes: usize,
-    learning_rate: f64,
+    pub(crate) trees: Vec<Vec<RegTree>>,
+    pub(crate) n_classes: usize,
+    pub(crate) learning_rate: f64,
 }
 
 impl Gbdt {
@@ -131,25 +131,17 @@ impl Classifier for Gbdt {
     }
 }
 
-impl Trainer for GbdtParams {
-    fn fit_budgeted(
-        &self,
-        x: &Matrix,
-        y: &[usize],
-        n_classes: usize,
-        budget: f64,
-    ) -> Box<dyn Classifier> {
-        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
-    }
-
-    fn fit_cancellable(
+impl GbdtParams {
+    /// Train, returning the concrete model type (the [`Trainer`] impl
+    /// boxes this; the artifact exporter serializes the ensemble).
+    pub fn train_cancellable(
         &self,
         x: &Matrix,
         y: &[usize],
         n_classes: usize,
         budget: f64,
         cancel: &CancelToken,
-    ) -> Box<dyn Classifier> {
+    ) -> Gbdt {
         let rounds = ((self.n_rounds as f64 * budget.clamp(0.0, 1.0)).round() as usize).max(1);
         let (n, _d) = x.shape();
         assert_eq!(n, y.len());
@@ -212,7 +204,30 @@ impl Trainer for GbdtParams {
             }
             trees.push(round_trees);
         }
-        Box::new(Gbdt { trees, n_classes: k, learning_rate: self.learning_rate })
+        Gbdt { trees, n_classes: k, learning_rate: self.learning_rate }
+    }
+}
+
+impl Trainer for GbdtParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+    ) -> Box<dyn Classifier> {
+        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
+    }
+
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
+        Box::new(self.train_cancellable(x, y, n_classes, budget, cancel))
     }
 
     fn name(&self) -> &'static str {

@@ -19,6 +19,7 @@
 //! boosting rounds, so a wall-clock deadline can stop training mid-trial
 //! instead of overshooting by a full fit.
 
+pub mod artifact;
 pub mod cancel;
 pub mod classifier;
 pub mod cv;
@@ -29,6 +30,7 @@ pub mod mlp;
 pub mod simple;
 pub mod tree;
 
+pub use artifact::TrainedModel;
 pub use cancel::CancelToken;
 pub use classifier::{Classifier, ModelKind, Trainer};
 pub use gbdt::{Gbdt, GbdtParams};

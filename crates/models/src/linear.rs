@@ -45,8 +45,8 @@ impl LogisticParams {
 /// A trained multinomial logistic regression model.
 pub struct LogisticRegression {
     /// Weights, `n_classes x (n_features + 1)`; last column is the bias.
-    weights: Matrix,
-    n_classes: usize,
+    pub(crate) weights: Matrix,
+    pub(crate) n_classes: usize,
 }
 
 impl LogisticRegression {
@@ -80,25 +80,17 @@ impl Classifier for LogisticRegression {
     }
 }
 
-impl Trainer for LogisticParams {
-    fn fit_budgeted(
-        &self,
-        x: &Matrix,
-        y: &[usize],
-        n_classes: usize,
-        budget: f64,
-    ) -> Box<dyn Classifier> {
-        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
-    }
-
-    fn fit_cancellable(
+impl LogisticParams {
+    /// Train, returning the concrete model type (the [`Trainer`] impl
+    /// boxes this; the artifact exporter serializes its weights).
+    pub fn train_cancellable(
         &self,
         x: &Matrix,
         y: &[usize],
         n_classes: usize,
         budget: f64,
         cancel: &CancelToken,
-    ) -> Box<dyn Classifier> {
+    ) -> LogisticRegression {
         let (n, d) = x.shape();
         assert_eq!(n, y.len());
         let epochs = ((self.max_epochs as f64 * budget.clamp(0.0, 1.0)).round() as usize).max(1);
@@ -168,7 +160,30 @@ impl Trainer for LogisticParams {
             }
             prev_loss = loss;
         }
-        Box::new(LogisticRegression { weights: w, n_classes: k })
+        LogisticRegression { weights: w, n_classes: k }
+    }
+}
+
+impl Trainer for LogisticParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+    ) -> Box<dyn Classifier> {
+        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
+    }
+
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
+        Box::new(self.train_cancellable(x, y, n_classes, budget, cancel))
     }
 
     fn name(&self) -> &'static str {

@@ -54,10 +54,10 @@ impl MlpParams {
 /// A trained MLP.
 pub struct MlpClassifier {
     /// Hidden weights, `hidden x (d + 1)` (last column bias).
-    w1: Matrix,
+    pub(crate) w1: Matrix,
     /// Output weights, `k x (hidden + 1)` (last column bias).
-    w2: Matrix,
-    n_classes: usize,
+    pub(crate) w2: Matrix,
+    pub(crate) n_classes: usize,
 }
 
 impl MlpClassifier {
@@ -128,25 +128,17 @@ impl Adam {
     }
 }
 
-impl Trainer for MlpParams {
-    fn fit_budgeted(
-        &self,
-        x: &Matrix,
-        y: &[usize],
-        n_classes: usize,
-        budget: f64,
-    ) -> Box<dyn Classifier> {
-        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
-    }
-
-    fn fit_cancellable(
+impl MlpParams {
+    /// Train, returning the concrete model type (the [`Trainer`] impl
+    /// boxes this; the artifact exporter serializes its weights).
+    pub fn train_cancellable(
         &self,
         x: &Matrix,
         y: &[usize],
         n_classes: usize,
         budget: f64,
         cancel: &CancelToken,
-    ) -> Box<dyn Classifier> {
+    ) -> MlpClassifier {
         let (n, d) = x.shape();
         assert_eq!(n, y.len());
         let k = n_classes;
@@ -244,7 +236,30 @@ impl Trainer for MlpParams {
                 adam2.step(&mut w2, &g2, self.learning_rate);
             }
         }
-        Box::new(MlpClassifier { w1, w2, n_classes: k })
+        MlpClassifier { w1, w2, n_classes: k }
+    }
+}
+
+impl Trainer for MlpParams {
+    fn fit_budgeted(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+    ) -> Box<dyn Classifier> {
+        self.fit_cancellable(x, y, n_classes, budget, &CancelToken::new())
+    }
+
+    fn fit_cancellable(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+        budget: f64,
+        cancel: &CancelToken,
+    ) -> Box<dyn Classifier> {
+        Box::new(self.train_cancellable(x, y, n_classes, budget, cancel))
     }
 
     fn name(&self) -> &'static str {

@@ -13,6 +13,7 @@
 //! (Tables 6-7) parameter search spaces; [`encoding`] turns pipelines
 //! into fixed-width vectors for surrogate models.
 
+pub mod artifact;
 pub mod encoding;
 pub mod enumerate;
 pub mod kinds;

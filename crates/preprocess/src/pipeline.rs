@@ -109,6 +109,17 @@ pub struct FittedPipeline {
 }
 
 impl FittedPipeline {
+    /// Reassemble a fitted pipeline from its fitted steps (the inverse
+    /// of [`FittedPipeline::steps`]; used by the artifact codec).
+    pub fn from_steps(steps: Vec<FittedPreproc>) -> FittedPipeline {
+        FittedPipeline { steps }
+    }
+
+    /// Borrow the fitted steps in application order.
+    pub fn steps(&self) -> &[FittedPreproc] {
+        &self.steps
+    }
+
     /// Transform features in place through every fitted step.
     pub fn transform(&self, x: &mut Matrix) {
         for step in &self.steps {

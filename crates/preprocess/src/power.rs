@@ -98,10 +98,10 @@ pub fn optimal_lambda(col: &[f64]) -> f64 {
 /// post-transform standardization statistics.
 #[derive(Debug, Clone)]
 pub struct FittedPower {
-    lambdas: Vec<f64>,
-    means: Vec<f64>,
-    stds: Vec<f64>,
-    standardize: bool,
+    pub(crate) lambdas: Vec<f64>,
+    pub(crate) means: Vec<f64>,
+    pub(crate) stds: Vec<f64>,
+    pub(crate) standardize: bool,
 }
 
 impl FittedPower {

@@ -17,8 +17,8 @@ use autofp_linalg::Matrix;
 #[derive(Debug, Clone)]
 pub struct FittedQuantile {
     /// `references[j]` holds the sorted quantile values of column `j`.
-    references: Vec<Vec<f64>>,
-    output: OutputDist,
+    pub(crate) references: Vec<Vec<f64>>,
+    pub(crate) output: OutputDist,
 }
 
 impl FittedQuantile {

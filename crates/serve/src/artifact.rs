@@ -1,0 +1,458 @@
+//! The self-describing serve artifact: `fit once, serve many`.
+//!
+//! An artifact file freezes everything needed to reproduce the
+//! in-search evaluation of one (pipeline, model) winner on new rows:
+//! the dataset/search provenance, the fitted preprocessing parameters,
+//! and the trained model weights. The layout follows the trial-store
+//! idiom (`core::repo`): an 8-byte magic, then length-prefixed
+//! FNV-1a-checksummed records —
+//!
+//! ```text
+//! [AFPSERV1][u32 len][meta][u64 fnv1a][u32 len][pipeline][u64 fnv1a]
+//!           [u32 len][model][u64 fnv1a]
+//! ```
+//!
+//! Unlike a trial-store segment (an append-only log that tolerates a
+//! torn tail), an artifact is written whole: exactly three records in
+//! fixed order, and *any* deviation — truncation, checksum mismatch,
+//! trailing bytes — is a hard [`ArtifactError::Corrupt`]. Decoding is
+//! total (arbitrary bytes never panic) and canonical (decode → encode
+//! reproduces the input byte-for-byte).
+
+use autofp_core::fnv1a;
+use autofp_models::{ModelKind, TrainedModel};
+use autofp_preprocess::artifact as preproc_codec;
+use autofp_preprocess::FittedPipeline;
+use std::fmt;
+use std::path::Path;
+
+/// Artifact file magic (format version 1).
+pub const MAGIC: [u8; 8] = *b"AFPSERV1";
+
+/// Hard cap on a single artifact record (matches the wire frame cap).
+pub const MAX_RECORD: u32 = 16 * 1024 * 1024;
+
+const REC_META: u8 = 0;
+const REC_PIPELINE: u8 = 1;
+const REC_MODEL: u8 = 2;
+
+/// An artifact failed to load or decode.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The bytes are not a valid artifact.
+    Corrupt {
+        /// What was wrong, for the operator.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Corrupt { detail } => write!(f, "corrupt artifact: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> ArtifactError {
+        ArtifactError::Io(e)
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> ArtifactError {
+    ArtifactError::Corrupt { detail: detail.into() }
+}
+
+/// Provenance and shape metadata pinned into every artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArtifactMeta {
+    /// Dataset the pipeline+model were fitted on.
+    pub dataset: String,
+    /// Human-readable pipeline description (`Pipeline::key` form).
+    pub pipeline_key: String,
+    /// Downstream model family.
+    pub model: ModelKind,
+    /// Seed the split/subsample/trainer all derived from.
+    pub seed: u64,
+    /// Train fraction of the stratified split.
+    pub train_fraction: f64,
+    /// Training-row cap applied before fitting (0 = uncapped).
+    pub train_subsample: u64,
+    /// Feature arity every served row must match.
+    pub n_features: u64,
+    /// Number of classes the model predicts over.
+    pub n_classes: u64,
+    /// Rows the model was trained on (after split + subsample).
+    pub train_rows: u64,
+    /// Validation accuracy at export time (the in-search number).
+    pub accuracy: f64,
+}
+
+/// A loaded (or freshly fitted) serve artifact.
+pub struct ServeArtifact {
+    /// Provenance + shape metadata.
+    pub meta: ArtifactMeta,
+    /// The fitted preprocessing chain.
+    pub pipeline: FittedPipeline,
+    /// The trained model.
+    pub model: TrainedModel,
+}
+
+fn model_code(kind: ModelKind) -> u8 {
+    match kind {
+        ModelKind::Lr => 0,
+        ModelKind::Xgb => 1,
+        ModelKind::Mlp => 2,
+    }
+}
+
+fn model_from_code(c: u8) -> Result<ModelKind, ArtifactError> {
+    match c {
+        0 => Ok(ModelKind::Lr),
+        1 => Ok(ModelKind::Xgb),
+        2 => Ok(ModelKind::Mlp),
+        _ => Err(corrupt(format!("invalid model code {c}"))),
+    }
+}
+
+fn enc_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_meta(meta: &ArtifactMeta) -> Vec<u8> {
+    let mut b = vec![REC_META];
+    enc_string(&mut b, &meta.dataset);
+    enc_string(&mut b, &meta.pipeline_key);
+    b.push(model_code(meta.model));
+    b.extend_from_slice(&meta.seed.to_le_bytes());
+    b.extend_from_slice(&meta.train_fraction.to_bits().to_le_bytes());
+    b.extend_from_slice(&meta.train_subsample.to_le_bytes());
+    b.extend_from_slice(&meta.n_features.to_le_bytes());
+    b.extend_from_slice(&meta.n_classes.to_le_bytes());
+    b.extend_from_slice(&meta.train_rows.to_le_bytes());
+    b.extend_from_slice(&meta.accuracy.to_bits().to_le_bytes());
+    b
+}
+
+struct MetaDec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaDec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| corrupt("meta length overflow"))?;
+        if end > self.buf.len() {
+            return Err(corrupt("truncated meta record"));
+        }
+        // lint:allow(panic-reach): checked_add + `end <= buf.len()` above make the range provably in bounds
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, ArtifactError> {
+        let b = self.take(4)?;
+        // lint:allow(panic-reach): take(4) returned exactly four bytes
+        let n = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| corrupt("meta string is not UTF-8"))
+    }
+}
+
+fn decode_meta(payload: &[u8]) -> Result<ArtifactMeta, ArtifactError> {
+    let mut d = MetaDec { buf: payload, pos: 0 };
+    if d.u8()? != REC_META {
+        return Err(corrupt("first record is not the meta record"));
+    }
+    let meta = ArtifactMeta {
+        dataset: d.string()?,
+        pipeline_key: d.string()?,
+        model: model_from_code(d.u8()?)?,
+        seed: d.u64()?,
+        train_fraction: d.f64()?,
+        train_subsample: d.u64()?,
+        n_features: d.u64()?,
+        n_classes: d.u64()?,
+        train_rows: d.u64()?,
+        accuracy: d.f64()?,
+    };
+    if d.pos != d.buf.len() {
+        return Err(corrupt("trailing bytes in meta record"));
+    }
+    Ok(meta)
+}
+
+/// Frame a record payload: `[u32 LE len][payload][u64 LE fnv1a]`.
+fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+}
+
+/// Unframe the record at `pos`; advances `pos` past it.
+fn unframe<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a [u8], ArtifactError> {
+    let remaining = bytes.len() - *pos;
+    if remaining < 4 {
+        return Err(corrupt("truncated record length"));
+    }
+    let mut len_buf = [0u8; 4];
+    // lint:allow(panic-reach): `remaining >= 4` above bounds the range
+    len_buf.copy_from_slice(&bytes[*pos..*pos + 4]);
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_RECORD || (len as usize) > remaining.saturating_sub(4 + 8) {
+        return Err(corrupt("record length exceeds file"));
+    }
+    let start = *pos + 4;
+    let end = start + len as usize;
+    // lint:allow(panic-reach): len was bounds-checked against `remaining` above
+    let payload = &bytes[start..end];
+    let mut sum_buf = [0u8; 8];
+    // lint:allow(panic-reach): len + 8 checksum bytes fit in `remaining` by the check above
+    sum_buf.copy_from_slice(&bytes[end..end + 8]);
+    if u64::from_le_bytes(sum_buf) != fnv1a(payload) {
+        return Err(corrupt("record checksum mismatch"));
+    }
+    *pos = end + 8;
+    Ok(payload)
+}
+
+impl ServeArtifact {
+    /// Serialize to the canonical artifact bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        frame(&mut out, &encode_meta(&self.meta));
+        let mut pipeline = vec![REC_PIPELINE];
+        pipeline.extend_from_slice(&preproc_codec::encode_pipeline(&self.pipeline));
+        frame(&mut out, &pipeline);
+        let mut model = vec![REC_MODEL];
+        model.extend_from_slice(&self.model.encode());
+        frame(&mut out, &model);
+        out
+    }
+
+    /// Decode artifact bytes. Total and strict: exactly three
+    /// checksummed records in fixed order, no trailing bytes, and the
+    /// cross-record invariants (model family and class count match the
+    /// meta) must hold.
+    pub fn decode(bytes: &[u8]) -> Result<ServeArtifact, ArtifactError> {
+        // lint:allow(panic-reach): the `len < MAGIC.len()` guard short-circuits before the slice
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic (not a serve artifact)"));
+        }
+        let mut pos = MAGIC.len();
+        let meta = decode_meta(unframe(bytes, &mut pos)?)?;
+        let pipeline_rec = unframe(bytes, &mut pos)?;
+        if pipeline_rec.first() != Some(&REC_PIPELINE) {
+            return Err(corrupt("second record is not the pipeline record"));
+        }
+        // lint:allow(panic-reach): `first() == Some(..)` above proves the record is non-empty
+        let pipeline = preproc_codec::decode_pipeline(&pipeline_rec[1..])
+            .map_err(|e| corrupt(e.detail))?;
+        let model_rec = unframe(bytes, &mut pos)?;
+        if model_rec.first() != Some(&REC_MODEL) {
+            return Err(corrupt("third record is not the model record"));
+        }
+        // lint:allow(panic-reach): `first() == Some(..)` above proves the record is non-empty
+        let model = TrainedModel::decode(&model_rec[1..]).map_err(|e| corrupt(e.detail))?;
+        if pos != bytes.len() {
+            return Err(corrupt(format!("{} trailing bytes", bytes.len() - pos)));
+        }
+        if model.kind() != meta.model {
+            return Err(corrupt("model record family disagrees with meta"));
+        }
+        if model.n_classes() as u64 != meta.n_classes {
+            return Err(corrupt("model class count disagrees with meta"));
+        }
+        Ok(ServeArtifact { meta, pipeline, model })
+    }
+
+    /// Write the artifact to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Read and decode an artifact file.
+    pub fn load(path: impl AsRef<Path>) -> Result<ServeArtifact, ArtifactError> {
+        let bytes = std::fs::read(path)?;
+        ServeArtifact::decode(&bytes)
+    }
+
+    /// Feature arity every served row must match.
+    pub fn n_features(&self) -> usize {
+        self.meta.n_features as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_data::SynthConfig;
+    use autofp_linalg::Matrix;
+    use autofp_models::CancelToken;
+    use autofp_preprocess::{Pipeline, PreprocKind};
+
+    fn sample_artifact(kind: ModelKind) -> ServeArtifact {
+        let d = SynthConfig::new("artifact-serve", 90, 4, 2, 5).generate();
+        let pipeline = Pipeline::from_kinds(&[
+            PreprocKind::StandardScaler,
+            PreprocKind::QuantileTransformer,
+        ]);
+        let (fitted, train_x) = pipeline.fit_transform(&d.x);
+        let model =
+            TrainedModel::train(kind, 3, &train_x, &d.y, d.n_classes, 1.0, &CancelToken::new());
+        ServeArtifact {
+            meta: ArtifactMeta {
+                dataset: "artifact-serve".into(),
+                pipeline_key: pipeline.key(),
+                model: kind,
+                seed: 3,
+                train_fraction: 0.8,
+                train_subsample: 0,
+                n_features: 4,
+                n_classes: d.n_classes as u64,
+                train_rows: d.x.nrows() as u64,
+                accuracy: 0.875,
+            },
+            pipeline: fitted,
+            model,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_stable_for_every_family() {
+        for kind in ModelKind::ALL {
+            let art = sample_artifact(kind);
+            let bytes = art.encode();
+            let back = ServeArtifact::decode(&bytes).expect("decode");
+            assert_eq!(back.encode(), bytes, "{kind}");
+            assert_eq!(back.meta, art.meta, "{kind}");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let art = sample_artifact(ModelKind::Lr);
+        let path = std::env::temp_dir()
+            .join(format!("autofp-artifact-{}.bin", std::process::id()));
+        art.save(&path).expect("save");
+        let back = ServeArtifact::load(&path).expect("load");
+        assert_eq!(back.encode(), art.encode());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn golden_header_bytes_are_locked() {
+        // Magic + the meta record framing are a compatibility surface.
+        let art = ServeArtifact {
+            meta: ArtifactMeta {
+                dataset: "d".into(),
+                pipeline_key: "(identity)".into(),
+                model: ModelKind::Lr,
+                seed: 7,
+                train_fraction: 0.8,
+                train_subsample: 0,
+                n_features: 1,
+                n_classes: 2,
+                train_rows: 4,
+                accuracy: 0.5,
+            },
+            pipeline: Pipeline::empty().fit_transform(&Matrix::zeros(1, 1)).0,
+            model: TrainedModel::train(
+                ModelKind::Lr,
+                7,
+                &Matrix::from_vec(4, 1, vec![0.0, 1.0, 0.0, 1.0]),
+                &[0, 1, 0, 1],
+                2,
+                1.0,
+                &CancelToken::new(),
+            ),
+        };
+        let bytes = art.encode();
+        assert_eq!(&bytes[..8], b"AFPSERV1");
+        // Meta payload, transcribed by hand.
+        let mut meta = vec![0u8]; // REC_META
+        meta.extend_from_slice(&1u32.to_le_bytes());
+        meta.extend_from_slice(b"d");
+        meta.extend_from_slice(&10u32.to_le_bytes());
+        meta.extend_from_slice(b"(identity)");
+        meta.push(0); // ModelKind::Lr
+        meta.extend_from_slice(&7u64.to_le_bytes());
+        meta.extend_from_slice(&0.8f64.to_bits().to_le_bytes());
+        meta.extend_from_slice(&0u64.to_le_bytes());
+        meta.extend_from_slice(&1u64.to_le_bytes());
+        meta.extend_from_slice(&2u64.to_le_bytes());
+        meta.extend_from_slice(&4u64.to_le_bytes());
+        meta.extend_from_slice(&0.5f64.to_bits().to_le_bytes());
+        let mut want = Vec::new();
+        want.extend_from_slice(&(meta.len() as u32).to_le_bytes());
+        want.extend_from_slice(&meta);
+        want.extend_from_slice(&fnv1a(&meta).to_le_bytes());
+        assert_eq!(&bytes[8..8 + want.len()], &want[..]);
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = sample_artifact(ModelKind::Lr).encode();
+        for len in 0..bytes.len() {
+            assert!(
+                ServeArtifact::decode(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(ServeArtifact::decode(&trailing).is_err());
+    }
+
+    #[test]
+    fn byte_flips_never_panic() {
+        // LR keeps the artifact small enough to fuzz every position.
+        let bytes = sample_artifact(ModelKind::Lr).encode();
+        for i in 0..bytes.len() {
+            for v in [0u8, 1, 2, 127, 255] {
+                let mut m = bytes.clone();
+                if m[i] == v {
+                    continue;
+                }
+                m[i] = v;
+                let _ = ServeArtifact::decode(&m);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_record_disagreements_rejected() {
+        // Meta says MLP but the model record holds an LR: corrupt.
+        let mut art = sample_artifact(ModelKind::Lr);
+        art.meta.model = ModelKind::Mlp;
+        assert!(ServeArtifact::decode(&art.encode()).is_err());
+        let mut art = sample_artifact(ModelKind::Lr);
+        art.meta.n_classes = 99;
+        assert!(ServeArtifact::decode(&art.encode()).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! A thin blocking client for the serve endpoint (CLI + tests).
+
+use crate::engine::{EngineStats, RowOutcome};
+use crate::wire::{recv_response, send_request, ServeInfo, ServeRequest, ServeResponse};
+use autofp_core::EvalError;
+use std::net::{TcpStream, ToSocketAddrs};
+
+fn transport(detail: impl Into<String>) -> EvalError {
+    EvalError::Transport { detail: detail.into() }
+}
+
+/// One TCP connection to a serve daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a running daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServeClient, EvalError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| transport(format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    fn call(&mut self, req: &ServeRequest) -> Result<ServeResponse, EvalError> {
+        send_request(&mut self.stream, req)?;
+        match recv_response(&mut self.stream)? {
+            Some(ServeResponse::Error(err)) => Err(err),
+            Some(resp) => Ok(resp),
+            None => Err(transport("connection closed before response")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), EvalError> {
+        match self.call(&ServeRequest::Ping)? {
+            ServeResponse::Pong => Ok(()),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Describe the artifact behind the endpoint.
+    pub fn info(&mut self) -> Result<ServeInfo, EvalError> {
+        match self.call(&ServeRequest::Info)? {
+            ServeResponse::Info(info) => Ok(info),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Predict a batch; outcomes come back in input order.
+    pub fn predict(
+        &mut self,
+        rows: Vec<Vec<f64>>,
+    ) -> Result<(Vec<RowOutcome>, EngineStats), EvalError> {
+        match self.call(&ServeRequest::Predict { rows })? {
+            ServeResponse::PredictAck { outcomes, stats } => Ok((outcomes, stats)),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Snapshot the daemon's lifetime counters.
+    pub fn stats(&mut self) -> Result<EngineStats, EvalError> {
+        match self.call(&ServeRequest::Stats)? {
+            ServeResponse::Stats(stats) => Ok(stats),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ask the daemon to stop accepting connections.
+    pub fn shutdown(&mut self) -> Result<(), EvalError> {
+        match self.call(&ServeRequest::Shutdown)? {
+            ServeResponse::ShutdownAck => Ok(()),
+            other => Err(transport(format!("unexpected response {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The skew-free export fit: produce a [`ServeArtifact`] whose served
+//! predictions are bit-identical to the in-search evaluation.
+//!
+//! [`fit_artifact`] replicates [`autofp_core::Evaluator`]'s fit path
+//! *exactly*, in the same order: stratified split at
+//! (`train_fraction`, `seed`), optional training-row subsample at the
+//! same seed, `Pipeline::fit_transform` on the training features,
+//! `FittedPipeline::transform_new` on the validation features, and a
+//! model trained through the same concrete code the boxed
+//! [`autofp_models::classifier::Trainer`] runs (see
+//! [`TrainedModel::train`]). Any divergence here would be train/serve
+//! skew — the integration suite pins the equivalence bit-for-bit.
+
+use crate::artifact::{ArtifactMeta, ServeArtifact};
+use autofp_core::{EvalConfig, EvalError};
+use autofp_data::Dataset;
+use autofp_models::metrics::accuracy;
+use autofp_models::{CancelToken, Classifier, TrainedModel};
+use autofp_preprocess::Pipeline;
+
+/// Fit `pipeline` + the configured model on `dataset` the way the
+/// evaluator would, and package the result as a serve artifact.
+///
+/// Returns the evaluator's failure taxonomy on the same conditions it
+/// would fail: a degenerate (empty) train matrix, or a transform that
+/// maps finite input to NaN/inf.
+pub fn fit_artifact(
+    dataset: &Dataset,
+    pipeline: &Pipeline,
+    config: &EvalConfig,
+) -> Result<ServeArtifact, EvalError> {
+    // Mirror of Evaluator::new + from_split: split, then subsample.
+    let mut split = dataset.stratified_split(config.train_fraction, config.seed);
+    if let Some(cap) = config.train_subsample {
+        split.train = split.train.subsample(cap, config.seed);
+    }
+    let train_input_finite = split.train.x.as_slice().iter().all(|v| v.is_finite());
+
+    // Mirror of Evaluator::evaluate_raw at full budget.
+    let (fitted, train_x) = pipeline.fit_transform(&split.train.x);
+    let valid_x = fitted.transform_new(&split.valid.x);
+    if train_input_finite && !train_x.as_slice().iter().all(|v| v.is_finite()) {
+        return Err(EvalError::NonFiniteTransform {
+            detail: format!("train matrix after `{}`", pipeline.key()),
+        });
+    }
+    let (n, d) = train_x.shape();
+    if n == 0 || d == 0 {
+        return Err(EvalError::DegenerateMatrix { detail: format!("train matrix is {n}x{d}") });
+    }
+
+    let model = TrainedModel::train(
+        config.model,
+        config.seed,
+        &train_x,
+        &split.train.y,
+        split.train.n_classes,
+        1.0,
+        &CancelToken::new(),
+    );
+    let acc = accuracy(&split.valid.y, &model.predict(&valid_x));
+
+    Ok(ServeArtifact {
+        meta: ArtifactMeta {
+            dataset: dataset.name.clone(),
+            pipeline_key: pipeline.key(),
+            model: config.model,
+            seed: config.seed,
+            train_fraction: config.train_fraction,
+            train_subsample: config.train_subsample.unwrap_or(0) as u64,
+            n_features: d as u64,
+            n_classes: split.train.n_classes as u64,
+            train_rows: n as u64,
+            accuracy: acc,
+        },
+        pipeline: fitted,
+        model,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofp_core::Evaluate;
+    use autofp_data::SynthConfig;
+    use autofp_models::ModelKind;
+    use autofp_preprocess::PreprocKind;
+
+    #[test]
+    fn exported_accuracy_matches_the_evaluator() {
+        let d = SynthConfig::new("export-ds", 240, 6, 3, 13).generate();
+        let p = Pipeline::from_kinds(&[PreprocKind::StandardScaler, PreprocKind::MinMaxScaler]);
+        for model in ModelKind::ALL {
+            let config = EvalConfig { model, seed: 5, ..Default::default() };
+            let art = fit_artifact(&d, &p, &config).expect("fit");
+            let ev = autofp_core::Evaluator::new(&d, config);
+            let trial = ev.evaluate(&p);
+            assert_eq!(
+                art.meta.accuracy.to_bits(),
+                trial.accuracy.to_bits(),
+                "{model}: export accuracy skewed from in-search accuracy"
+            );
+            assert_eq!(art.meta.train_rows as usize, ev.train_rows());
+        }
+    }
+
+    #[test]
+    fn degenerate_train_matrix_is_refused() {
+        let d = Dataset::new(
+            "export-empty",
+            autofp_linalg::Matrix::zeros(10, 0),
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+            2,
+        );
+        let Err(err) = fit_artifact(&d, &Pipeline::empty(), &EvalConfig::default()) else {
+            panic!("expected a degenerate-matrix failure");
+        };
+        assert!(matches!(err, EvalError::DegenerateMatrix { .. }), "{err:?}");
+    }
+}

@@ -1,0 +1,544 @@
+//! The serve wire protocol: `Predict`/`PredictAck` over evald framing.
+//!
+//! Messages ride the same `[u32 LE length][payload]` frames as the
+//! evaluation service (`evald::wire::read_frame`/`write_frame` are
+//! reused directly), with the same conventions: a one-byte tag,
+//! little-endian integers, `f64` as IEEE-754 bit patterns, canonical
+//! encoding, and total decoding — a malformed payload is an
+//! `EvalError::Transport`, never a panic.
+
+use crate::engine::{EngineStats, RowOutcome};
+use autofp_core::{EvalError, FailureKind};
+use std::io::{Read, Write};
+
+pub use autofp_evald::wire::{read_frame, write_frame, MAX_FRAME};
+
+/// Cap on rows per `Predict` request (the 16 MiB frame cap bounds the
+/// payload anyway; this bounds the row-vector allocation up front).
+pub const MAX_BATCH: u32 = 1 << 20;
+
+const REQ_PING: u8 = 0;
+const REQ_INFO: u8 = 1;
+const REQ_PREDICT: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_PONG: u8 = 0;
+const RESP_INFO: u8 = 1;
+const RESP_PREDICT_ACK: u8 = 2;
+const RESP_STATS: u8 = 3;
+const RESP_SHUTDOWN_ACK: u8 = 4;
+const RESP_ERROR: u8 = 5;
+
+/// What the artifact behind a serve endpoint looks like.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeInfo {
+    /// Dataset the artifact was fitted on.
+    pub dataset: String,
+    /// Human-readable pipeline description.
+    pub pipeline_key: String,
+    /// Model family report name ("LR", "XGB", "MLP").
+    pub model: String,
+    /// Feature arity every row must match.
+    pub n_features: u64,
+    /// Classes the model predicts over.
+    pub n_classes: u64,
+    /// Validation accuracy recorded at export time.
+    pub accuracy: f64,
+}
+
+/// A client request to the serve endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeRequest {
+    /// Liveness probe.
+    Ping,
+    /// Describe the loaded artifact.
+    Info,
+    /// Predict a batch of feature rows.
+    Predict {
+        /// Feature rows; arity is validated per row (quarantine path).
+        rows: Vec<Vec<f64>>,
+    },
+    /// Snapshot the lifetime serving counters.
+    Stats,
+    /// Stop the server loop.
+    Shutdown,
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeResponse {
+    /// Ping acknowledged.
+    Pong,
+    /// Artifact description.
+    Info(ServeInfo),
+    /// Per-row outcomes (input order) plus post-batch counters.
+    PredictAck {
+        /// One outcome per request row, in input order.
+        outcomes: Vec<RowOutcome>,
+        /// Lifetime counters after absorbing this batch.
+        stats: EngineStats,
+    },
+    /// Counter snapshot.
+    Stats(EngineStats),
+    /// Shutdown acknowledged.
+    ShutdownAck,
+    /// The request failed server-side.
+    Error(EvalError),
+}
+
+fn transport(detail: impl Into<String>) -> EvalError {
+    EvalError::Transport { detail: detail.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(tag: u8) -> Enc {
+        Enc { buf: vec![tag] }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn stats(&mut self, s: &EngineStats) {
+        self.u64(s.rows);
+        self.u64(s.predicted);
+        self.u64(s.rejected_non_finite);
+        self.u64(s.rejected_arity);
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EvalError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| transport("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(transport("truncated payload"));
+        }
+        // lint:allow(panic-reach): checked_add + `end <= buf.len()` above make the range provably in bounds
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, EvalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, EvalError> {
+        let b = self.take(4)?;
+        // lint:allow(panic-reach): take(4) returned exactly four bytes
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, EvalError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, EvalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, EvalError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| transport("string is not UTF-8"))
+    }
+
+    fn stats(&mut self) -> Result<EngineStats, EvalError> {
+        Ok(EngineStats {
+            rows: self.u64()?,
+            predicted: self.u64()?,
+            rejected_non_finite: self.u64()?,
+            rejected_arity: self.u64()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), EvalError> {
+        if self.pos != self.buf.len() {
+            return Err(transport(format!("{} trailing bytes", self.buf.len() - self.pos)));
+        }
+        Ok(())
+    }
+}
+
+fn enc_rows(e: &mut Enc, rows: &[Vec<f64>]) {
+    e.u32(rows.len() as u32);
+    for row in rows {
+        e.u32(row.len() as u32);
+        for &v in row {
+            e.f64(v);
+        }
+    }
+}
+
+fn dec_rows(d: &mut Dec<'_>) -> Result<Vec<Vec<f64>>, EvalError> {
+    let n = d.u32()?;
+    if n > MAX_BATCH {
+        return Err(transport(format!("batch of {n} rows exceeds cap {MAX_BATCH}")));
+    }
+    let mut rows = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let len = d.u32()? as usize;
+        let bytes = len.checked_mul(8).ok_or_else(|| transport("row length overflow"))?;
+        let raw = d.take(bytes)?;
+        let mut row = Vec::with_capacity(len);
+        for chunk in raw.chunks_exact(8) {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(chunk);
+            row.push(f64::from_bits(u64::from_le_bytes(a)));
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn enc_outcomes(e: &mut Enc, outcomes: &[RowOutcome]) {
+    e.u32(outcomes.len() as u32);
+    for o in outcomes {
+        match o {
+            RowOutcome::Predicted(class) => {
+                e.u8(0);
+                e.u32(*class as u32);
+            }
+            RowOutcome::Rejected(kind) => {
+                e.u8(1);
+                e.u8(kind.index() as u8);
+            }
+        }
+    }
+}
+
+fn dec_outcomes(d: &mut Dec<'_>) -> Result<Vec<RowOutcome>, EvalError> {
+    let n = d.u32()?;
+    if n > MAX_BATCH {
+        return Err(transport(format!("ack of {n} outcomes exceeds cap {MAX_BATCH}")));
+    }
+    // Each outcome is at least 2 bytes.
+    if n as usize > self_remaining(d) / 2 + 1 {
+        return Err(transport("outcome count exceeds payload"));
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        match d.u8()? {
+            0 => out.push(RowOutcome::Predicted(d.u32()? as usize)),
+            1 => {
+                let code = d.u8()? as usize;
+                let kind = *FailureKind::ALL
+                    .get(code)
+                    .ok_or_else(|| transport(format!("bad failure code {code}")))?;
+                out.push(RowOutcome::Rejected(kind));
+            }
+            t => return Err(transport(format!("bad outcome tag {t}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn self_remaining(d: &Dec<'_>) -> usize {
+    d.buf.len() - d.pos
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Encode a request payload (framing is the caller's concern).
+pub fn encode_request(req: &ServeRequest) -> Vec<u8> {
+    match req {
+        ServeRequest::Ping => Enc::new(REQ_PING).buf,
+        ServeRequest::Info => Enc::new(REQ_INFO).buf,
+        ServeRequest::Predict { rows } => {
+            let mut e = Enc::new(REQ_PREDICT);
+            enc_rows(&mut e, rows);
+            e.buf
+        }
+        ServeRequest::Stats => Enc::new(REQ_STATS).buf,
+        ServeRequest::Shutdown => Enc::new(REQ_SHUTDOWN).buf,
+    }
+}
+
+/// Decode a request payload. Total; rejects trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<ServeRequest, EvalError> {
+    let mut d = Dec::new(payload);
+    let req = match d.u8()? {
+        REQ_PING => ServeRequest::Ping,
+        REQ_INFO => ServeRequest::Info,
+        REQ_PREDICT => ServeRequest::Predict { rows: dec_rows(&mut d)? },
+        REQ_STATS => ServeRequest::Stats,
+        REQ_SHUTDOWN => ServeRequest::Shutdown,
+        tag => return Err(transport(format!("bad request tag {tag}"))),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Encode a response payload.
+pub fn encode_response(resp: &ServeResponse) -> Vec<u8> {
+    match resp {
+        ServeResponse::Pong => Enc::new(RESP_PONG).buf,
+        ServeResponse::Info(info) => {
+            let mut e = Enc::new(RESP_INFO);
+            e.string(&info.dataset);
+            e.string(&info.pipeline_key);
+            e.string(&info.model);
+            e.u64(info.n_features);
+            e.u64(info.n_classes);
+            e.f64(info.accuracy);
+            e.buf
+        }
+        ServeResponse::PredictAck { outcomes, stats } => {
+            let mut e = Enc::new(RESP_PREDICT_ACK);
+            enc_outcomes(&mut e, outcomes);
+            e.stats(stats);
+            e.buf
+        }
+        ServeResponse::Stats(stats) => {
+            let mut e = Enc::new(RESP_STATS);
+            e.stats(stats);
+            e.buf
+        }
+        ServeResponse::ShutdownAck => Enc::new(RESP_SHUTDOWN_ACK).buf,
+        ServeResponse::Error(err) => {
+            let mut e = Enc::new(RESP_ERROR);
+            e.string(&format!("{err}"));
+            e.buf
+        }
+    }
+}
+
+/// Decode a response payload. Total; rejects trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<ServeResponse, EvalError> {
+    let mut d = Dec::new(payload);
+    let resp = match d.u8()? {
+        RESP_PONG => ServeResponse::Pong,
+        RESP_INFO => ServeResponse::Info(ServeInfo {
+            dataset: d.string()?,
+            pipeline_key: d.string()?,
+            model: d.string()?,
+            n_features: d.u64()?,
+            n_classes: d.u64()?,
+            accuracy: d.f64()?,
+        }),
+        RESP_PREDICT_ACK => {
+            let outcomes = dec_outcomes(&mut d)?;
+            let stats = d.stats()?;
+            ServeResponse::PredictAck { outcomes, stats }
+        }
+        RESP_STATS => ServeResponse::Stats(d.stats()?),
+        RESP_SHUTDOWN_ACK => ServeResponse::ShutdownAck,
+        RESP_ERROR => ServeResponse::Error(transport(d.string()?)),
+        tag => return Err(transport(format!("bad response tag {tag}"))),
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+/// Write one framed request.
+pub fn send_request(w: &mut impl Write, req: &ServeRequest) -> Result<(), EvalError> {
+    write_frame(w, &encode_request(req))
+}
+
+/// Read one framed response (`None` on clean EOF).
+pub fn recv_response(r: &mut impl Read) -> Result<Option<ServeResponse>, EvalError> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => Ok(Some(decode_response(&payload)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<ServeRequest> {
+        vec![
+            ServeRequest::Ping,
+            ServeRequest::Info,
+            ServeRequest::Predict {
+                rows: vec![vec![1.0, f64::NAN, -3.5], vec![], vec![f64::INFINITY]],
+            },
+            ServeRequest::Stats,
+            ServeRequest::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<ServeResponse> {
+        let stats = EngineStats {
+            rows: 10,
+            predicted: 7,
+            rejected_non_finite: 2,
+            rejected_arity: 1,
+        };
+        vec![
+            ServeResponse::Pong,
+            ServeResponse::Info(ServeInfo {
+                dataset: "ds".into(),
+                pipeline_key: "StandardScaler".into(),
+                model: "LR".into(),
+                n_features: 5,
+                n_classes: 3,
+                accuracy: 0.875,
+            }),
+            ServeResponse::PredictAck {
+                outcomes: vec![
+                    RowOutcome::Predicted(2),
+                    RowOutcome::Rejected(FailureKind::NonFinite),
+                    RowOutcome::Rejected(FailureKind::Degenerate),
+                ],
+                stats,
+            },
+            ServeResponse::Stats(stats),
+            ServeResponse::ShutdownAck,
+            ServeResponse::Error(transport("boom")),
+        ]
+    }
+
+    #[test]
+    fn round_trips_are_canonical() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            let back = decode_request(&bytes).expect("request");
+            // Byte-level round trip is the canonical property: it is
+            // bit-exact even through the NaN payloads `PartialEq`
+            // cannot compare.
+            assert_eq!(encode_request(&back), bytes);
+        }
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            let back = decode_response(&bytes).expect("response");
+            // An `Error` decodes to Transport carrying the display
+            // text, so only the non-error responses re-encode to the
+            // original bytes.
+            if !matches!(resp, ServeResponse::Error(_)) {
+                assert_eq!(back, resp);
+                assert_eq!(encode_response(&back), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn golden_bytes_are_locked() {
+        assert_eq!(encode_request(&ServeRequest::Ping), vec![0]);
+        let mut want = vec![2u8]; // Predict tag
+        want.extend_from_slice(&1u32.to_le_bytes()); // one row
+        want.extend_from_slice(&2u32.to_le_bytes()); // two values
+        want.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        want.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            encode_request(&ServeRequest::Predict { rows: vec![vec![1.5, f64::NAN]] }),
+            want
+        );
+        let mut want = vec![2u8]; // PredictAck tag
+        want.extend_from_slice(&2u32.to_le_bytes()); // two outcomes
+        want.push(0); // predicted
+        want.extend_from_slice(&4u32.to_le_bytes());
+        want.push(1); // rejected
+        want.push(0); // NonFinite code
+        for v in [9u64, 8, 0, 1] {
+            want.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(
+            encode_response(&ServeResponse::PredictAck {
+                outcomes: vec![
+                    RowOutcome::Predicted(4),
+                    RowOutcome::Rejected(FailureKind::NonFinite),
+                ],
+                stats: EngineStats {
+                    rows: 9,
+                    predicted: 8,
+                    rejected_non_finite: 0,
+                    rejected_arity: 1,
+                },
+            }),
+            want
+        );
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_error() {
+        for req in all_requests() {
+            let bytes = encode_request(&req);
+            for len in 0..bytes.len() {
+                assert!(decode_request(&bytes[..len]).is_err(), "{req:?} prefix {len}");
+            }
+            let mut trailing = bytes.clone();
+            trailing.push(0);
+            assert!(decode_request(&trailing).is_err());
+        }
+        for resp in all_responses() {
+            let bytes = encode_response(&resp);
+            for len in 0..bytes.len() {
+                assert!(decode_response(&bytes[..len]).is_err(), "prefix {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_flips_never_panic() {
+        for bytes in all_requests()
+            .iter()
+            .map(encode_request)
+            .chain(all_responses().iter().map(encode_response))
+        {
+            for i in 0..bytes.len() {
+                for v in [0u8, 1, 2, 127, 255] {
+                    let mut m = bytes.clone();
+                    if m[i] == v {
+                        continue;
+                    }
+                    m[i] = v;
+                    let _ = decode_request(&m);
+                    let _ = decode_response(&m);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let mut e = vec![2u8];
+        e.extend_from_slice(&(MAX_BATCH + 1).to_le_bytes());
+        assert!(decode_request(&e).is_err());
+    }
+}

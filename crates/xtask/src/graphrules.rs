@@ -30,7 +30,7 @@ use std::collections::BTreeMap;
 /// Hot-path entry points for panic-reach: (file, fn name). Everything
 /// transitively callable from these, minus `catch_unwind`-shielded
 /// edges, must be panic-free.
-const PANIC_REACH_ENTRIES: [(&str, &str); 10] = [
+const PANIC_REACH_ENTRIES: [(&str, &str); 14] = [
     // The shielded evaluation surface searchers program against.
     ("crates/core/src/evaluator.rs", "try_evaluate"),
     ("crates/core/src/evaluator.rs", "try_evaluate_budgeted"),
@@ -49,6 +49,15 @@ const PANIC_REACH_ENTRIES: [(&str, &str); 10] = [
     // panic.
     ("crates/core/src/repo.rs", "open"),
     ("crates/core/src/repo.rs", "append"),
+    // The serving path: its wire decoders face untrusted request
+    // frames, the artifact decoder faces untrusted files, and
+    // `serve_connection` is the daemon's whole per-connection cone —
+    // a panic anywhere under it drops a client (or, via the accept
+    // loop, the daemon).
+    ("crates/serve/src/wire.rs", "decode_request"),
+    ("crates/serve/src/wire.rs", "decode_response"),
+    ("crates/serve/src/artifact.rs", "decode"),
+    ("crates/serve/src/server.rs", "serve_connection"),
 ];
 
 /// Files where slice/array indexing counts as a panic-reach sink. The
@@ -59,7 +68,7 @@ const PANIC_REACH_ENTRIES: [(&str, &str); 10] = [
 /// panic would turn a recoverable corrupt tail into a crash loop.
 /// Matrix-shaped indexing in `preprocess`/`models`/`linalg` stays
 /// idiomatic and out of scope.
-const INDEX_SINK_FILES: [&str; 8] = [
+const INDEX_SINK_FILES: [&str; 12] = [
     "crates/evald/src/wire.rs",
     "crates/evald/src/client.rs",
     "crates/evald/src/fleet.rs",
@@ -68,6 +77,10 @@ const INDEX_SINK_FILES: [&str; 8] = [
     "crates/evald/src/service.rs",
     "crates/core/src/remote.rs",
     "crates/core/src/repo.rs",
+    "crates/serve/src/wire.rs",
+    "crates/serve/src/artifact.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/client.rs",
 ];
 
 /// Panicking constructs beyond [`PANIC_TOKENS`]: `std::panic::panic_any`

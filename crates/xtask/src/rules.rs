@@ -80,7 +80,10 @@ impl Violation {
 /// workers to failover or worst-error trials, never to a crash.
 /// `core/repo.rs` decodes untrusted on-disk bytes the same way the
 /// wire decoder does: open+scan over an arbitrary (possibly torn or
-/// corrupted) segment file must be total.
+/// corrupted) segment file must be total. The whole `serve` crate is
+/// hot path too: its decoders face untrusted artifact files and
+/// untrusted request frames, and its engine/server answer live
+/// traffic where a panic drops the daemon.
 const HOT_PATH: [&str; 10] = [
     "crates/core/src/batch.rs",
     "crates/core/src/evaluator.rs",
@@ -93,14 +96,19 @@ const HOT_PATH: [&str; 10] = [
     "crates/evald/src/fleet.rs",
     "crates/evald/src/launch.rs",
 ];
-const HOT_PATH_PREFIXES: [&str; 2] = ["crates/preprocess/src/", "crates/models/src/"];
+const HOT_PATH_PREFIXES: [&str; 3] =
+    ["crates/preprocess/src/", "crates/models/src/", "crates/serve/src/"];
 
 /// Modules whose outputs feed `History`, reports, or cache keys: hash
 /// containers (nondeterministic iteration order) need justification.
 /// `core/repo.rs` is the durable end of that chain: record identity
 /// and segment layout must be pure functions of the trial data —
 /// no wall clock, no unstable iteration order.
-const DET_CRITICAL: [&str; 12] = [
+/// The serve codecs and engine join for the same reason: artifact
+/// bytes, wire bytes, and served predictions must be pure functions
+/// of their inputs (the train/serve skew and thread-invariance
+/// guarantees depend on it).
+const DET_CRITICAL: [&str; 15] = [
     "crates/core/src/history.rs",
     "crates/core/src/report.rs",
     "crates/core/src/cache.rs",
@@ -113,6 +121,9 @@ const DET_CRITICAL: [&str; 12] = [
     "crates/evald/src/service.rs",
     "crates/evald/src/fleet.rs",
     "crates/evald/src/launch.rs",
+    "crates/serve/src/artifact.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/wire.rs",
 ];
 
 /// Cache-identity regions: (file, block introducer). The rule applies

@@ -27,4 +27,5 @@ pub use autofp_metafeatures as metafeatures;
 pub use autofp_models as models;
 pub use autofp_preprocess as preprocess;
 pub use autofp_search as search;
+pub use autofp_serve as serve;
 pub use autofp_surrogate as surrogate;

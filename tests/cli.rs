@@ -146,3 +146,110 @@ fn meta_flag_prints_forty_features() {
     assert!(stdout.contains("SkewnessMean"));
     assert!(stdout.contains("Landmark1NN"));
 }
+
+#[test]
+fn export_then_predict_round_trip() {
+    // Build a learnable CSV: label = (feature > 30).
+    let mut csv = String::from("f0,f1,label\n");
+    for i in 0..80 {
+        csv.push_str(&format!("{},{},{}\n", i, (i * 37) % 100, usize::from(i > 30)));
+    }
+    let dir = std::env::temp_dir().join(format!("autofp_cli_export_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let train = dir.join("train.csv");
+    std::fs::write(&train, csv).unwrap();
+
+    let artifact = dir.join("model.afp");
+    let (stdout, stderr, ok) = run(&[
+        "export",
+        "--csv",
+        train.to_str().unwrap(),
+        "--out",
+        artifact.to_str().unwrap(),
+        "--pipeline",
+        "StandardScaler,MinMaxScaler",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "export failed: {stderr}");
+    assert!(stdout.contains("exported"), "{stdout}");
+    assert!(stdout.contains("StandardScaler -> MinMaxScaler"), "{stdout}");
+    assert!(artifact.exists());
+
+    // Two clean rows, one non-finite, one wrong-arity.
+    let rows = dir.join("rows.csv");
+    std::fs::write(&rows, "f0,f1\n5,10\n70,2\nnotanumber,3\n1,2,3\n").unwrap();
+    let (stdout, stderr, ok) = run(&[
+        "predict",
+        "--artifact",
+        artifact.to_str().unwrap(),
+        "--csv",
+        rows.to_str().unwrap(),
+    ]);
+    assert!(ok, "predict failed: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "{stdout}");
+    assert_eq!(lines[0], "0");
+    assert_eq!(lines[1], "1");
+    assert_eq!(lines[2], "reject:non-finite");
+    assert_eq!(lines[3], "reject:degenerate");
+    assert!(stderr.contains("2 predicted, 2 rejected"), "{stderr}");
+
+    // Thread count must not change stdout.
+    let (threaded, _, ok) = run(&[
+        "predict",
+        "--artifact",
+        artifact.to_str().unwrap(),
+        "--csv",
+        rows.to_str().unwrap(),
+        "--threads",
+        "8",
+    ]);
+    assert!(ok);
+    assert_eq!(threaded, stdout, "thread count changed predict output");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn export_and_predict_reject_bad_usage() {
+    let (_, stderr, ok) = run(&["export", "--csv", "x.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out is required"), "{stderr}");
+    let (_, stderr, ok) = run(&["predict", "--csv", "x.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly one of"), "{stderr}");
+    let (_, stderr, ok) = run(&["predict", "--artifact", "a", "--addr", "b", "--csv", "x.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("exactly one of"), "{stderr}");
+    let (_, stderr, ok) = run(&[
+        "export",
+        "--csv",
+        "x.csv",
+        "--out",
+        "y.afp",
+        "--pipeline",
+        "NotAPreprocessor",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown preprocessor"), "{stderr}");
+    let (_, stderr, ok) = run(&["serve", "--port", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--artifact is required"), "{stderr}");
+    let (_, stderr, ok) = run(&["serve", "--artifact", "x.afp", "--bind", "nothost"]);
+    assert!(!ok);
+    assert!(stderr.contains("--bind"), "{stderr}");
+}
+
+#[test]
+fn repo_gc_dry_run_reports_without_deleting() {
+    let dir = std::env::temp_dir().join(format!("autofp_cli_gc_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let (stdout, _, ok) =
+        run(&["repo", "gc", "--dir", dir.to_str().unwrap(), "--dry-run"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 segments kept"), "{stdout}");
+    let (_, stderr, ok) = run(&["repo", "frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("gc"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
